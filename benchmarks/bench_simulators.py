@@ -1,0 +1,84 @@
+"""Raw simulator throughput benchmarks (pytest-benchmark timings).
+
+Not a paper figure — these measure the substrate itself so performance
+regressions in the cache/TLB/branch/SIMT engines are caught, and so users
+can size their own experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    Cache,
+    CacheConfig,
+    GSharePredictor,
+    TLB,
+    TLBConfig,
+    stack_distances,
+)
+from repro.gpu.simt import KernelAccum, slots_for_loop
+
+N = 200_000
+
+
+@pytest.fixture(scope="module")
+def addrs():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 1 << 24, N).astype(np.uint64)
+
+
+def test_cache_simulator_throughput(benchmark, addrs):
+    cfg = CacheConfig("L2", size=32 * 1024, assoc=8)
+
+    def run():
+        c = Cache(cfg)
+        return int(c.simulate(addrs).sum())
+
+    misses = benchmark(run)
+    assert 0 < misses <= N
+
+
+def test_stack_distance_throughput(benchmark, addrs):
+    sub = addrs[:40_000]
+
+    def run():
+        return stack_distances(sub, 64, n_sets=64)
+
+    d = benchmark(run)
+    assert len(d) == len(sub)
+
+
+def test_tlb_throughput(benchmark, addrs):
+    def run():
+        t = TLB(TLBConfig(entries=64, assoc=4))
+        t.simulate(addrs)
+        return t.stats().misses
+
+    assert benchmark(run) > 0
+
+
+def test_branch_predictor_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    sites = rng.integers(0, 64, N).astype(np.uint32)
+    taken = rng.integers(0, 2, N).astype(np.uint8)
+
+    def run():
+        return GSharePredictor().simulate(sites, taken).mispredicts
+
+    assert benchmark(run) > 0
+
+
+def test_simt_accounting_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    trips = rng.integers(0, 24, 50_000)
+
+    def run():
+        acc = KernelAccum()
+        acc.loop(trips, 4.0)
+        threads, steps, slots = slots_for_loop(trips)
+        addrs = rng.integers(0, 1 << 22, len(threads))
+        acc.mem_op(slots, addrs)
+        return acc.stats.mdr
+
+    mdr = benchmark(run)
+    assert 0 <= mdr <= 1

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Rich-property graph computing: Bayesian inference on a MUNIN-like
+diagnostic network (the paper's CompProp workload and its special
+dataset).
+
+A clinician-style what-if: clamp a few observed findings as evidence, run
+Gibbs sampling over the CPT-laden property graph, and read off posterior
+beliefs — then peek at why CompProp looks so different architecturally.
+
+Run:  python examples/bayesian_inference.py
+"""
+
+import numpy as np
+
+from repro.arch import CPUModel, SCALED_XEON
+from repro.bayes import munin_like
+from repro.core.trace import Tracer
+from repro.workloads import build_bn_graph, run
+
+# --- a MUNIN-like diagnostic network -----------------------------------------
+bn = munin_like(n_vertices=400, n_edges=540, target_params=30000, seed=9)
+print(f"network: {bn.n} variables, {bn.n_edges} dependencies, "
+      f"{bn.n_params} CPT parameters "
+      "(MUNIN: 1041 / 1397 / 80592)")
+
+g = build_bn_graph(bn)
+print(f"property graph footprint: {g.alloc.footprint / 1024:.0f} KiB "
+      f"({g.alloc.tag_bytes('payload') / 1024:.0f} KiB of CPT payloads)")
+
+# --- choose evidence: clamp three findings (leaf-ish variables) --------------
+leaves = [v for v in range(bn.n) if not bn.children[v]][:3]
+evidence = {v: 0 for v in leaves}
+print(f"evidence: variables {leaves} observed in state 0")
+
+# --- posterior inference via Gibbs sampling ----------------------------------
+tracer = Tracer()
+res = run("Gibbs", g, tracer=tracer, bn=bn, n_sweeps=30, burn_in=10,
+          seed=1, evidence=evidence)
+marginals = res.outputs["marginals"]
+
+# the "diagnoses": root variables with the most decisive posteriors
+roots = [v for v in range(bn.n) if not bn.parents[v]]
+decisive = sorted(roots, key=lambda v: -marginals[v].max())[:5]
+print("\nmost decisive root posteriors:")
+for v in decisive:
+    m = marginals[v]
+    print(f"  variable {v:4d}: P(state {int(np.argmax(m))}) = "
+          f"{m.max():.2f}  (arity {bn.arities[v]})")
+
+# --- the CompProp architectural signature (paper Figs. 5-8) -------------------
+metrics = CPUModel(SCALED_XEON).run(tracer.freeze())
+s = metrics.summary()
+print("\nwhy CompProp is the outlier (paper Fig. 8):")
+print(f"  L3 MPKI      {s['l3_mpki']:6.1f}   (accesses stay inside each "
+      "vertex's CPT)")
+print(f"  DTLB penalty {s['dtlb_penalty']:6.1%}   (centralized, "
+      "page-local)")
+print(f"  IPC          {s['ipc']:6.2f}   (numeric work retires)")
+print(f"  backend      {s['cycles_backend']:6.1%}   (vs >85% for "
+      "traversals)")

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""GPU vs CPU graph computing: the full Fig. 10-12 pipeline on one
+dataset — populate, run SIMT kernels, measure divergence, and compare
+against the 16-core CPU projection.
+
+Run:  python examples/gpu_vs_cpu.py
+"""
+
+from repro.datagen import ldbc
+from repro.gpu import populate, run_gpu_workload
+from repro.harness import GPU_WORKLOAD_SET, characterize, gpu_speedup
+from repro.workloads import common_edge_schema, common_vertex_schema
+
+spec = ldbc(n_vertices=1500, avg_degree=16, seed=21)
+print(f"dataset: {spec}")
+
+# --- the populate step (Section 4.1): dynamic graph -> device CSR/COO --------
+g = spec.build(vertex_schema=common_vertex_schema(),
+               edge_schema=common_edge_schema())
+pop = populate(g)
+print(f"populate: {pop.bytes_transferred / 1024:.0f} KiB to device in "
+      f"{pop.total_time * 1e3:.2f} ms (excluded from in-core speedups, "
+      "as in the paper)")
+
+# --- run all 8 GPU kernels and the CPU characterization ----------------------
+print(f"\n{'kernel':8s} {'model':14s} {'BDR':>5s} {'MDR':>5s} "
+      f"{'GB/s':>6s} {'IPC':>5s} {'speedup':>8s}")
+from repro.gpu.kernels import GPU_KERNELS
+
+for name in GPU_WORKLOAD_SET:
+    row = characterize(name, spec, with_gpu=True)
+    sp = gpu_speedup(row, weights=spec.degrees_undirected())
+    m = row.gpu
+    model = GPU_KERNELS[name].MODEL
+    print(f"{name:8s} {model:14s} {m.bdr:5.2f} {m.mdr:5.2f} "
+          f"{m.read_throughput_gbs:6.1f} {m.ipc:5.2f} {sp:7.1f}x")
+
+print("""
+reading the table (paper Sections 5.3):
+ * edge-centric kernels (CComp, TC) keep BDR ~0 — uniform per-thread work
+ * thread-centric kernels diverge with the degree distribution
+ * CComp's label-propagation streams memory -> top throughput + speedup
+ * TC's merge-intersections are compute-bound -> top IPC, tiny GB/s
+ * atomics (DCentr) cost performance even at high memory throughput""")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Road-network navigation: shortest paths on a man-made technology
+network (Table 2 type 4) — and why its regular topology behaves so
+differently from social graphs on both CPU and GPU.
+
+Run:  python examples/road_navigation.py
+"""
+
+import numpy as np
+
+from repro.datagen import ca_road, ldbc
+from repro.gpu import run_gpu_workload
+from repro.workloads import common_edge_schema, common_vertex_schema, run
+
+spec = ca_road(n_vertices=2500, seed=3)
+print(f"dataset: {spec} (avg degree "
+      f"{spec.degrees_undirected().mean():.2f} — regular mesh)")
+
+g = spec.build(vertex_schema=common_vertex_schema(),
+               edge_schema=common_edge_schema())
+
+# --- give road segments travel-time weights ----------------------------------
+rng = np.random.default_rng(0)
+for vid in g.vertex_ids():
+    for dst, node in g.find_vertex(vid).out.items():
+        # 1-5 minutes per segment (kept symmetric via sorted endpoints)
+        w = 1.0 + ((min(vid, dst) * 31 + max(vid, dst)) % 5)
+        g.eset(node, "weight", float(w))
+
+# --- route from a corner intersection ----------------------------------------
+side = spec.meta["side"]
+start = 0
+res = run("SPath", g, root=start)
+dists = res.outputs["dists"]
+parents = res.outputs["parents"]
+far = max(dists, key=dists.get)
+print(f"\nDijkstra from intersection {start}: "
+      f"{res.outputs['settled']} reachable intersections")
+print(f"farthest: {far} at {dists[far]:.0f} minutes")
+
+# reconstruct the route
+route = [far]
+while route[-1] != start:
+    route.append(parents[route[-1]])
+print(f"route hops: {len(route) - 1} "
+      "(large diameter — the type-4 signature)")
+
+# --- compare: hop distances vs social graph ----------------------------------
+bfs_road = run("BFS", spec.build(vertex_schema=common_vertex_schema(),
+                                 edge_schema=common_edge_schema()),
+               root=0).outputs["levels"]
+social = ldbc(2500, avg_degree=12, seed=3)
+bfs_social = run("BFS", social.build(
+    vertex_schema=common_vertex_schema(),
+    edge_schema=common_edge_schema()),
+    root=int(np.argmax(social.out_degrees()))).outputs["levels"]
+print(f"\nmedian BFS depth: road {np.median(list(bfs_road.values())):.0f} "
+      f"vs social {np.median(list(bfs_social.values())):.0f}")
+
+# --- the GPU consequence (paper Figs. 12-13) ---------------------------------
+_, m_road = run_gpu_workload("DCentr", spec)
+_, m_social = run_gpu_workload("DCentr", social)
+print("\nGPU DCentr branch divergence: "
+      f"road {m_road.bdr:.2f} vs social {m_social.bdr:.2f} "
+      "(low vertex degrees keep warps converged on road networks)")

@@ -1,0 +1,35 @@
+"""repro — GraphBIG reproduction.
+
+A full-spectrum graph-computing benchmark suite modelled on GraphBIG
+(Nai et al., SC'15): a System G-style vertex-centric dynamic property-graph
+framework, CSR/COO static formats, the 13 GraphBIG workloads across all
+three computation types, dataset generators for all four data-source types,
+and a trace-driven CPU/GPU architectural characterization harness that
+regenerates every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import PropertyGraph, datasets, workloads
+
+    g = datasets.ldbc(n_vertices=2000, seed=1).build()
+    result = workloads.run("BFS", g, root=0)
+    print(result.outputs["levels"][:10])
+"""
+
+from .core import (
+    EdgeNode,
+    Field,
+    PropertyGraph,
+    Schema,
+    Tracer,
+    Vertex,
+    ComputationType,
+    DataSource,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EdgeNode", "Field", "PropertyGraph", "Schema", "Tracer", "Vertex",
+    "ComputationType", "DataSource", "__version__",
+]

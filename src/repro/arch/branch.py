@@ -1,0 +1,106 @@
+"""Branch predictor models.
+
+The paper reports branch miss-prediction rate per workload (Fig. 6): most
+graph workloads stay below 5 % — their branches are loop back-edges, which
+history predictors nail — while TC reaches 10.7 % because the outcome of
+its neighbour-list *intersection* compares is data-dependent and effectively
+random.  A gshare predictor over the traced (site, outcome) stream
+reproduces exactly this contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BranchStats:
+    """Outcome of a branch-prediction simulation."""
+
+    branches: int
+    mispredicts: int
+
+    @property
+    def miss_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    def mpki(self, n_instrs: int) -> float:
+        return 1000.0 * self.mispredicts / n_instrs if n_instrs else 0.0
+
+
+class BimodalPredictor:
+    """Per-site 2-bit saturating counters (no global history)."""
+
+    def __init__(self, table_bits: int = 12):
+        self.mask = (1 << table_bits) - 1
+        self.table = [2] * (1 << table_bits)   # weakly taken
+
+    def simulate(self, sites: np.ndarray, taken: np.ndarray) -> BranchStats:
+        table = self.table
+        mask = self.mask
+        miss = 0
+        for s, t in zip(np.asarray(sites).tolist(),
+                        np.asarray(taken).tolist()):
+            idx = s & mask
+            c = table[idx]
+            if (c >= 2) != bool(t):
+                miss += 1
+            table[idx] = min(c + 1, 3) if t else max(c - 1, 0)
+        return BranchStats(len(sites), miss)
+
+
+class GSharePredictor:
+    """Global-history XOR site-indexed 2-bit counters (McFarling gshare)."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12):
+        self.table_bits = table_bits
+        self.mask = (1 << table_bits) - 1
+        self.hmask = (1 << history_bits) - 1
+        self.table = [2] * (1 << table_bits)
+        self.history = 0
+
+    def simulate(self, sites: np.ndarray, taken: np.ndarray) -> BranchStats:
+        table = self.table
+        mask = self.mask
+        hmask = self.hmask
+        hist = self.history
+        miss = 0
+        for s, t in zip(np.asarray(sites).tolist(),
+                        np.asarray(taken).tolist()):
+            idx = (s ^ hist) & mask
+            c = table[idx]
+            t = bool(t)
+            if (c >= 2) != t:
+                miss += 1
+            table[idx] = min(c + 1, 3) if t else max(c - 1, 0)
+            hist = ((hist << 1) | t) & hmask
+        self.history = hist
+        return BranchStats(len(sites), miss)
+
+
+class AlwaysTakenPredictor:
+    """Static always-taken baseline (sanity lower bound)."""
+
+    def simulate(self, sites: np.ndarray, taken: np.ndarray) -> BranchStats:
+        taken = np.asarray(taken, dtype=bool)
+        return BranchStats(len(taken), int((~taken).sum()))
+
+
+PREDICTORS = {
+    "gshare": GSharePredictor,
+    "bimodal": BimodalPredictor,
+    "always_taken": AlwaysTakenPredictor,
+}
+
+
+def simulate_branches(sites: np.ndarray, taken: np.ndarray,
+                      kind: str = "gshare", **kwargs) -> BranchStats:
+    """Run predictor ``kind`` over a (site, outcome) stream."""
+    try:
+        cls = PREDICTORS[kind]
+    except KeyError:
+        raise ValueError(f"unknown predictor {kind!r}; "
+                         f"choose from {sorted(PREDICTORS)}") from None
+    return cls(**kwargs).simulate(sites, taken)

@@ -1,0 +1,84 @@
+"""Three-level cache hierarchy: L1D -> L2 -> L3 -> memory.
+
+Replays a trace through the levels in sequence: each level sees only the
+misses of the level above (the standard miss-stream composition of an
+inclusive hierarchy).  Returns per-level miss masks plus the per-access
+*service latency* the cycle model charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cache import Cache, CacheStats
+from .machine import MachineConfig
+
+
+@dataclass
+class HierarchyResult:
+    """Everything the cycle model and the reports need about the caches."""
+
+    l1: CacheStats
+    l2: CacheStats
+    l3: CacheStats
+    l1_miss: np.ndarray     # per-access bool, program order
+    l2_miss: np.ndarray     # per-access bool (False where L1 hit)
+    l3_miss: np.ndarray     # per-access bool (False where L1/L2 hit)
+    latency: np.ndarray     # per-access extra cycles beyond an L1 hit
+
+    def mpki(self, n_instrs: int) -> dict[str, float]:
+        """MPKI per level (Fig. 7's metric)."""
+        return {"L1D": self.l1.mpki(n_instrs),
+                "L2": self.l2.mpki(n_instrs),
+                "L3": self.l3.mpki(n_instrs)}
+
+    def hit_rates(self) -> dict[str, float]:
+        """Local hit rate per level (Fig. 9's metric)."""
+        return {"L1D": self.l1.hit_rate,
+                "L2": self.l2.hit_rate,
+                "L3": self.l3.hit_rate}
+
+
+class MemoryHierarchy:
+    """Stateful 3-level hierarchy bound to a :class:`MachineConfig`."""
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+        self.l1 = Cache(machine.l1d)
+        self.l2 = Cache(machine.l2)
+        self.l3 = Cache(machine.l3)
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+        self.l3.reset()
+
+    def simulate(self, addrs: np.ndarray, rw: np.ndarray | None = None
+                 ) -> HierarchyResult:
+        """Replay ``addrs`` (byte addresses, program order)."""
+        addrs = np.asarray(addrs, dtype=np.uint64)
+        n = len(addrs)
+        m = self.machine
+        l1_miss = self.l1.simulate(addrs, rw)
+        l2_miss = np.zeros(n, dtype=bool)
+        l3_miss = np.zeros(n, dtype=bool)
+        idx1 = np.flatnonzero(l1_miss)
+        if len(idx1):
+            rw1 = rw[idx1] if rw is not None else None
+            m2 = self.l2.simulate(addrs[idx1], rw1)
+            idx2 = idx1[m2]
+            l2_miss[idx2] = True
+            if len(idx2):
+                rw2 = rw[idx2] if rw is not None else None
+                m3 = self.l3.simulate(addrs[idx2], rw2)
+                l3_miss[idx2[m3]] = True
+        latency = np.zeros(n, dtype=np.int32)
+        latency[l1_miss] = m.l2.latency
+        latency[l2_miss] = m.l3.latency
+        latency[l3_miss] = m.mem_latency
+        return HierarchyResult(
+            l1=self.l1.stats, l2=self.l2.stats, l3=self.l3.stats,
+            l1_miss=l1_miss, l2_miss=l2_miss, l3_miss=l3_miss,
+            latency=latency)

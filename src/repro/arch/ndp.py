@@ -1,0 +1,90 @@
+"""Near-data processing (NDP) projection — the paper's future-work target.
+
+The conclusion singles out NDP units as the next platform for GraphBIG:
+graph computing's "extremely low cache hit rate introduces challenges as
+well as opportunities for future graph architecture/system research".
+This module projects a characterized workload onto a simple
+processing-in-memory organization so that the opportunity can be
+quantified:
+
+* the deep cache hierarchy is replaced by memory-side access at a flat
+  ``local_latency`` (a vault-local DRAM access, ~tCL-scale),
+* per-vault parallelism replaces the host core's ILP/MLP machinery,
+* instruction throughput per NDP core is modest (simple in-order cores).
+
+The projected speedup is the cache-miss-dominated share of the baseline
+run divided between latency saved and throughput lost — the standard
+first-order PIM argument: workloads whose time is DRAM latency win big;
+compute-retiring workloads (CompProp) do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cpu import CPUMetrics
+
+
+@dataclass(frozen=True)
+class NDPConfig:
+    """A HMC/PIM-style near-data organization."""
+
+    name: str = "ndp-16vault"
+    n_vaults: int = 16
+    local_latency: int = 40        # cycles: vault-local access (vs ~200)
+    issue_width: int = 1           # simple in-order NDP cores
+    freq_ratio: float = 0.5        # NDP core clock vs host clock
+    crossbar_latency: int = 80     # remote-vault access penalty
+
+
+@dataclass
+class NDPProjection:
+    """Outcome of projecting one workload onto the NDP organization."""
+
+    baseline_cycles: float
+    ndp_cycles: float
+    memory_bound_fraction: float
+
+    @property
+    def speedup(self) -> float:
+        return (self.baseline_cycles / self.ndp_cycles
+                if self.ndp_cycles else 0.0)
+
+
+def project_ndp(metrics: CPUMetrics, config: NDPConfig = NDPConfig(),
+                locality: float = 0.5) -> NDPProjection:
+    """Project a characterized run onto NDP hardware.
+
+    Parameters
+    ----------
+    metrics:
+        Baseline characterization from :class:`~repro.arch.cpu.CPUModel`.
+    config:
+        NDP organization.
+    locality:
+        Fraction of accesses served by the local vault (graph partitioning
+        quality); the rest pay the crossbar penalty.
+    """
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError("locality must be in [0, 1]")
+    b = metrics.breakdown
+    base = metrics.cycles
+    mem_fraction = b.backend / base if base else 0.0
+    # memory time: every former L3 miss (DRAM access) now costs the
+    # local/remote mix; former cache hits cost local latency too, but
+    # NDP's per-vault parallelism covers the same MLP as the host
+    accesses = metrics.hierarchy.l1.accesses
+    misses = metrics.hierarchy.l3.misses
+    avg_lat = (locality * config.local_latency
+               + (1 - locality) * (config.local_latency
+                                   + config.crossbar_latency))
+    mem_cycles = (misses * avg_lat / max(metrics.mlp, 1.0)
+                  + (accesses - misses) * 1.0)
+    # compute time: retiring work on narrow cores at the NDP clock,
+    # spread over the vaults
+    compute_cycles = (metrics.n_instrs / config.issue_width
+                      / config.freq_ratio / config.n_vaults)
+    other = b.frontend + b.bad_speculation
+    ndp_cycles = mem_cycles / config.n_vaults + compute_cycles + other
+    return NDPProjection(baseline_cycles=base, ndp_cycles=ndp_cycles,
+                         memory_bound_fraction=mem_fraction)

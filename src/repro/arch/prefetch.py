@@ -1,0 +1,126 @@
+"""Hardware-prefetcher models — probing the paper's "opportunity".
+
+Section 5.2.2: "The major inefficiency of graph workloads comes from
+memory subsystem.  Their extremely low cache hit rate introduces
+challenges as well as opportunities for future graph architecture/system
+research."  The first thing an architect tries is a prefetcher; these
+models quantify why the standard ones barely help pointer-chasing
+workloads (and why they do help CSR streaming):
+
+* :class:`NextLinePrefetcher` — on a miss to line L, also fetch L+1.
+* :class:`StridePrefetcher` — per-PC-ish stride table (here keyed by the
+  traced code region, the closest analogue to a load PC) issuing a
+  prefetch when a reference stride repeats.
+
+Both are evaluated *offline* over a trace: a prefetch is useful iff the
+predicted line is the next line referenced within the lookahead window —
+an optimistic (timeliness-free) upper bound, which makes the "prefetchers
+don't save graph traversals" conclusion conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.trace import FrozenTrace
+from .cache import Cache, CacheConfig
+
+
+@dataclass
+class PrefetchStats:
+    """Outcome of an offline prefetcher evaluation."""
+
+    issued: int
+    useful: int
+    demand_misses: int        # baseline misses without prefetching
+    covered: int              # baseline misses removed by useful prefetches
+
+    @property
+    def accuracy(self) -> float:
+        return self.useful / self.issued if self.issued else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of demand misses eliminated."""
+        return (self.covered / self.demand_misses
+                if self.demand_misses else 0.0)
+
+
+class NextLinePrefetcher:
+    """Fetch line L+1 alongside every demand miss to L."""
+
+    def __init__(self, config: CacheConfig, lookahead: int = 64):
+        self.config = config
+        self.lookahead = lookahead
+
+    def evaluate(self, trace: FrozenTrace) -> PrefetchStats:
+        lines = (np.asarray(trace.addrs, dtype=np.uint64)
+                 // np.uint64(self.config.line))
+        base = Cache(self.config)
+        miss = base.simulate(trace.addrs)
+        demand = int(miss.sum())
+        # a next-line prefetch at miss i is useful iff line+1 appears in
+        # the next `lookahead` references
+        issued = demand
+        useful = 0
+        lines_list = lines.tolist()
+        n = len(lines_list)
+        for i in np.flatnonzero(miss).tolist():
+            target = lines_list[i] + 1
+            window = lines_list[i + 1:i + 1 + self.lookahead]
+            if target in window:
+                useful += 1
+        return PrefetchStats(issued=issued, useful=useful,
+                             demand_misses=demand, covered=useful)
+
+
+class StridePrefetcher:
+    """Region-keyed stride predictor (an idealized IP-stride prefetcher).
+
+    Tracks, per traced code region, the last address and last stride;
+    when the stride repeats, the next address is predicted.  Useful iff
+    the prediction matches that region's next reference.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+
+    def evaluate(self, trace: FrozenTrace) -> PrefetchStats:
+        base = Cache(self.config)
+        miss = base.simulate(trace.addrs)
+        demand = int(miss.sum())
+        line = self.config.line
+        addrs = trace.addrs.tolist()
+        regions = trace.acc_region.tolist()
+        last_addr: dict[int, int] = {}
+        last_stride: dict[int, int] = {}
+        prediction: dict[int, int] = {}
+        issued = 0
+        useful = 0
+        covered = 0
+        miss_list = miss.tolist()
+        for i, (a, r) in enumerate(zip(addrs, regions)):
+            pred = prediction.pop(r, None)
+            if pred is not None and abs(a - pred) < line:
+                useful += 1
+                if miss_list[i]:
+                    covered += 1
+            prev = last_addr.get(r)
+            if prev is not None:
+                stride = a - prev
+                if stride != 0 and last_stride.get(r) == stride:
+                    prediction[r] = a + stride
+                    issued += 1
+                last_stride[r] = stride
+            last_addr[r] = a
+        return PrefetchStats(issued=issued, useful=useful,
+                             demand_misses=demand, covered=covered)
+
+
+def prefetch_comparison(trace: FrozenTrace, config: CacheConfig
+                        ) -> dict[str, PrefetchStats]:
+    """Evaluate both prefetchers over one trace."""
+    return {"next-line": NextLinePrefetcher(config).evaluate(trace),
+            "stride": StridePrefetcher(config).evaluate(trace)}

@@ -1,0 +1,130 @@
+"""LRU stack-distance analysis (Mattson et al. style, Fenwick-tree exact).
+
+For an access to line L, the *stack distance* is the number of distinct
+lines (mapping to the same cache set) touched since the previous access to
+L.  Under LRU an access hits in an A-way set iff its stack distance < A —
+so one pass yields hit/miss behaviour for **every** associativity at once,
+which powers the cache-sensitivity ablation benches.
+
+Algorithm: process accesses in set-grouped order, keeping a Fenwick tree
+over trace positions.  Position p holds 1 iff p is the *most recent* access
+to its line; the distinct-line count between two accesses to L is then a
+prefix-sum difference.  O(N log N), exact, cross-validated against the
+direct simulator in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Stack distance reported for compulsory (first-touch) accesses.
+COLD = np.iinfo(np.int64).max
+
+
+class Fenwick:
+    """Binary indexed tree over ``n`` integer counters (1-based core)."""
+
+    __slots__ = ("n", "tree")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int) -> None:
+        """Add ``delta`` at 0-based position ``i``."""
+        i += 1
+        tree = self.tree
+        n = self.n
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        """Sum of positions ``0..i`` inclusive (0-based)."""
+        i += 1
+        tree = self.tree
+        s = 0
+        while i > 0:
+            s += tree[i]
+            i -= i & (-i)
+        return s
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of positions ``lo..hi`` inclusive (0-based, lo<=hi)."""
+        s = self.prefix(hi)
+        if lo > 0:
+            s -= self.prefix(lo - 1)
+        return s
+
+
+def _stack_distances_one_set(lines: list[int]) -> np.ndarray:
+    """Exact LRU stack distance for a single-set access sequence."""
+    n = len(lines)
+    out = np.empty(n, dtype=np.int64)
+    fen = Fenwick(n)
+    last: dict[int, int] = {}
+    for i, line in enumerate(lines):
+        p = last.get(line)
+        if p is None:
+            out[i] = COLD
+        else:
+            # distinct lines touched in (p, i) = flags set in [p+1, i-1]
+            out[i] = fen.range_sum(p + 1, i - 1) if i - p > 1 else 0
+            fen.add(p, -1)
+        fen.add(i, 1)
+        last[line] = i
+    return out
+
+
+def stack_distances(addrs: np.ndarray, line_size: int = 64,
+                    n_sets: int = 1) -> np.ndarray:
+    """Per-access LRU stack distances with set partitioning.
+
+    Parameters
+    ----------
+    addrs:
+        Byte-address trace in program order.
+    line_size:
+        Cache line (or page, for TLB analysis) size in bytes.
+    n_sets:
+        Number of cache sets; distances are computed within each set's
+        subsequence, as real set-associative LRU behaves.
+
+    Returns
+    -------
+    int64 array, program order; ``COLD`` marks first touches.
+    """
+    lines = np.asarray(addrs, dtype=np.uint64) // np.uint64(line_size)
+    if n_sets == 1:
+        return _stack_distances_one_set(lines.tolist())
+    sets = (lines % np.uint64(n_sets)).astype(np.int64)
+    out = np.empty(len(lines), dtype=np.int64)
+    order = np.argsort(sets, kind="stable")
+    sorted_sets = sets[order]
+    boundaries = np.flatnonzero(np.diff(sorted_sets)) + 1
+    for chunk in np.split(order, boundaries):
+        if len(chunk) == 0:
+            continue
+        out[chunk] = _stack_distances_one_set(lines[chunk].tolist())
+    return out
+
+
+def misses_for_assoc(distances: np.ndarray, assoc: int) -> np.ndarray:
+    """Bool miss mask for an ``assoc``-way LRU cache, from distances."""
+    return distances >= assoc
+
+
+def miss_curve(distances: np.ndarray, max_assoc: int = 32) -> np.ndarray:
+    """Miss count as a function of associativity 1..max_assoc.
+
+    ``miss_curve(d)[a-1]`` is the number of misses of an ``a``-way cache
+    with the same set mapping — the cache-sensitivity curve used by the
+    representation ablation bench.
+    """
+    finite = distances[distances != COLD]
+    cold = len(distances) - len(finite)
+    hist = np.bincount(np.minimum(finite, max_assoc).astype(np.int64),
+                       minlength=max_assoc + 1)
+    # misses(a) = cold + #(distance >= a)
+    ge = np.cumsum(hist[::-1])[::-1]
+    return cold + ge[1:max_assoc + 1]

@@ -1,0 +1,173 @@
+"""Exact marginal inference by variable elimination.
+
+Strengthens the Gibbs workload's validation story: brute-force joint
+enumeration (``exact_marginals_brute_force``) caps out around 2^20 joint
+states, but MUNIN-scale diagnostic networks are far beyond that.  Variable
+elimination computes exact single-variable marginals in time exponential
+only in the induced width of the elimination order — tractable for the
+sparse, shallow DAGs the Gibbs workload runs on — giving an exact oracle
+at realistic sizes.
+
+Factors are dense numpy tensors over variable scopes; elimination follows
+the classic sum-product schedule with a min-degree ordering heuristic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .network import BayesianNetwork
+
+
+class Factor:
+    """Dense factor: a tensor over an ordered tuple of variables."""
+
+    __slots__ = ("vars", "table")
+
+    def __init__(self, variables: tuple[int, ...], table: np.ndarray):
+        table = np.asarray(table, dtype=np.float64)
+        if table.ndim != len(variables):
+            raise ValueError("table rank must match variable count")
+        self.vars = tuple(variables)
+        self.table = table
+
+    def multiply(self, other: "Factor") -> "Factor":
+        """Pointwise product over the union scope."""
+        union = list(self.vars)
+        union.extend(v for v in other.vars if v not in self.vars)
+        a = self._broadcast(union)
+        b = other._broadcast(union)
+        return Factor(tuple(union), a * b)
+
+    def _broadcast(self, union: list[int]) -> np.ndarray:
+        """Own table permuted into union order, size-1 axes inserted."""
+        order = [self.vars.index(v) for v in union if v in self.vars]
+        arr = np.transpose(self.table, order) if order else self.table
+        shape = []
+        i = 0
+        for v in union:
+            if v in self.vars:
+                shape.append(arr.shape[i])
+                i += 1
+            else:
+                shape.append(1)
+        return arr.reshape(shape)
+
+    def sum_out(self, var: int) -> "Factor":
+        """Marginalize ``var`` away."""
+        if var not in self.vars:
+            return self
+        axis = self.vars.index(var)
+        new_vars = tuple(v for v in self.vars if v != var)
+        return Factor(new_vars, self.table.sum(axis=axis))
+
+    def reduce(self, var: int, value: int) -> "Factor":
+        """Condition on ``var = value`` (drops the axis)."""
+        if var not in self.vars:
+            return self
+        axis = self.vars.index(var)
+        new_vars = tuple(v for v in self.vars if v != var)
+        return Factor(new_vars, np.take(self.table, value, axis=axis))
+
+    @property
+    def scalar(self) -> float:
+        if self.vars:
+            raise ValueError("factor is not fully summed out")
+        return float(self.table)
+
+
+def _cpt_factor(bn: BayesianNetwork, v: int) -> Factor:
+    """The CPT of variable ``v`` as a factor over (parents..., v)."""
+    cpt = bn.cpts[v]
+    if cpt is None:
+        raise ValueError(f"variable {v} has no CPT")
+    shape = tuple(bn.arities[p] for p in bn.parents[v]) + (cpt.arity,)
+    return Factor(tuple(bn.parents[v]) + (v,),
+                  cpt.table.reshape(shape))
+
+
+def _min_degree_order(bn: BayesianNetwork, keep: set[int],
+                      skip: set[int]) -> list[int]:
+    """Min-degree elimination order over the moralized graph."""
+    adj: dict[int, set[int]] = {v: set() for v in range(bn.n)}
+    for v in range(bn.n):
+        scope = set(bn.parents[v]) | {v}
+        for a in scope:
+            adj[a] |= scope - {a}
+    order = []
+    remaining = set(range(bn.n)) - keep - skip
+    while remaining:
+        v = min(remaining, key=lambda u: (len(adj[u] & remaining), u))
+        order.append(v)
+        nbrs = adj[v] & remaining
+        for a in nbrs:
+            adj[a] |= nbrs - {a}
+        remaining.discard(v)
+    return order
+
+
+#: Refuse to materialize factors beyond this many entries (the induced
+#: width has exploded; exact inference is intractable on this network).
+MAX_FACTOR_ENTRIES = 20_000_000
+
+
+def eliminate_marginal(bn: BayesianNetwork, query: int,
+                       evidence: dict[int, int] | None = None,
+                       max_factor_entries: int = MAX_FACTOR_ENTRIES
+                       ) -> np.ndarray:
+    """Exact P(query | evidence) by sum-product variable elimination.
+
+    Raises :class:`ValueError` when an intermediate factor would exceed
+    ``max_factor_entries`` — the network's induced width is too large for
+    exact inference (true of the real MUNIN as well; use Gibbs there).
+    """
+    evidence = dict(evidence or {})
+    if query in evidence:
+        out = np.zeros(bn.arities[query])
+        out[evidence[query]] = 1.0
+        return out
+    factors = [_cpt_factor(bn, v) for v in range(bn.n)]
+    for var, val in evidence.items():
+        factors = [f.reduce(var, val) for f in factors]
+    order = _min_degree_order(bn, keep={query}, skip=set(evidence))
+    for var in order:
+        involved = [f for f in factors if var in f.vars]
+        if not involved:
+            continue
+        rest = [f for f in factors if var not in f.vars]
+        scope = set()
+        for f in involved:
+            scope |= set(f.vars)
+        size = 1
+        for v in scope:
+            size *= bn.arities[v]
+        if size > max_factor_entries:
+            raise ValueError(
+                f"eliminating variable {var} needs a {size}-entry factor "
+                f"(induced width too large for exact inference)")
+        product = involved[0]
+        for f in involved[1:]:
+            product = product.multiply(f)
+        rest.append(product.sum_out(var))
+        factors = rest
+    # multiply what remains (all over {query} or empty scopes)
+    result = factors[0]
+    for f in factors[1:]:
+        result = result.multiply(f)
+    for v in result.vars:
+        if v != query:
+            result = result.sum_out(v)
+    table = result.table if result.vars else np.array([result.scalar])
+    z = table.sum()
+    if z <= 0:
+        raise ValueError("evidence has zero probability")
+    return table / z
+
+
+def exact_marginals(bn: BayesianNetwork,
+                    evidence: dict[int, int] | None = None,
+                    queries: list[int] | None = None
+                    ) -> dict[int, np.ndarray]:
+    """Exact marginals for ``queries`` (default: every variable)."""
+    qs = queries if queries is not None else list(range(bn.n))
+    return {q: eliminate_marginal(bn, q, evidence) for q in qs}

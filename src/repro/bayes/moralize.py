@@ -1,0 +1,37 @@
+"""DAG moralization — the algorithmic core of the TMorph workload.
+
+GraphBIG's Topology Morphing workload "generates an undirected moral graph
+from a directed-acyclic graph" (Section 4.2): for every vertex, *marry* all
+pairs of its parents (add edges between them), then drop edge directions.
+Moralization is the standard preprocessing step turning a Bayesian network
+into a Markov random field for inference.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from .network import BayesianNetwork
+
+
+def moral_edges(n: int, dag_edges: list[tuple[int, int]]
+                ) -> set[tuple[int, int]]:
+    """Undirected edge set (as sorted tuples) of the moral graph of the DAG
+    given by ``dag_edges`` (parent -> child)."""
+    parents: list[list[int]] = [[] for _ in range(n)]
+    und: set[tuple[int, int]] = set()
+    for p, c in dag_edges:
+        if not (0 <= p < n and 0 <= c < n):
+            raise ValueError(f"edge ({p},{c}) out of range")
+        parents[c].append(p)
+        und.add((min(p, c), max(p, c)))
+    for c in range(n):
+        for a, b in combinations(sorted(set(parents[c])), 2):
+            und.add((a, b))
+    und.discard(None)  # type: ignore[arg-type]
+    return {e for e in und if e[0] != e[1]}
+
+
+def moralize(bn: BayesianNetwork) -> set[tuple[int, int]]:
+    """Moral graph of a Bayesian network's DAG."""
+    return moral_edges(bn.n, bn.edges())

@@ -1,0 +1,119 @@
+"""Command-line interface: run, characterize, and report GraphBIG
+workloads without writing Python.
+
+Examples::
+
+    python -m repro list
+    python -m repro run BFS --dataset ldbc --scale 0.25
+    python -m repro characterize TC --dataset twitter --scale 0.1
+    python -m repro gpu CComp --dataset roadnet --scale 0.25
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _spec(args):
+    from .datagen.registry import make
+    return make(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def cmd_list(args) -> int:
+    from .workloads import table4
+    print(f"{'workload':8s} {'category':26s} {'ctype':11s} {'gpu':4s} "
+          "algorithm")
+    for r in table4():
+        print(f"{r.workload:8s} {r.category:26s} "
+              f"{r.computation_type:11s} {'yes' if r.gpu else 'no':4s} "
+              f"{r.algorithm}")
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    from .datagen.registry import REGISTRY
+    print(f"{'key':10s} {'name':26s} {'source':12s} "
+          f"{'paper V/E':>24s} {'default V':>10s}")
+    for key, e in REGISTRY.items():
+        print(f"{key:10s} {e.name:26s} {e.source.name:12s} "
+              f"{e.paper_vertices:>10,}/{e.paper_edges:<12,} "
+              f"{e.default_vertices:>9d}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .harness.runner import run_cpu_workload
+    spec = _spec(args)
+    print(f"dataset: {spec}")
+    result, _ = run_cpu_workload(args.workload, spec)
+    for key, value in result.outputs.items():
+        text = repr(value)
+        print(f"  {key}: {text[:100] + '...' if len(text) > 100 else text}")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    from .arch.machine import describe
+    from .harness import characterize
+    from .harness.runner import SCALED_XEON
+    spec = _spec(args)
+    print(f"dataset: {spec}")
+    print(f"machine: {describe(SCALED_XEON)}")
+    row = characterize(args.workload, spec)
+    for key, value in sorted(row.cpu.summary().items()):
+        print(f"  {key:22s} {value:12.4f}")
+    return 0
+
+
+def cmd_gpu(args) -> int:
+    from .gpu import run_gpu_workload
+    spec = _spec(args)
+    print(f"dataset: {spec}")
+    _, metrics = run_gpu_workload(args.workload, spec)
+    for key, value in sorted(metrics.summary().items()):
+        print(f"  {key:18s} {value:12.6f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphBIG reproduction: run and characterize "
+                    "graph-computing workloads")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 13 workloads (Table 4)")
+    sub.add_parser("datasets", help="list the dataset registry (Table 5)")
+
+    def add_common(sp):
+        sp.add_argument("workload", help="workload name, e.g. BFS")
+        sp.add_argument("--dataset", default="ldbc",
+                        help="registry dataset key (default: ldbc)")
+        sp.add_argument("--scale", type=float, default=0.25,
+                        help="dataset scale factor (default: 0.25)")
+        sp.add_argument("--seed", type=int, default=0)
+
+    add_common(sub.add_parser("run", help="run a workload, print outputs"))
+    add_common(sub.add_parser(
+        "characterize", help="run + CPU architectural characterization"))
+    add_common(sub.add_parser("gpu", help="run the GPU kernel + metrics"))
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"list": cmd_list, "datasets": cmd_datasets, "run": cmd_run,
+               "characterize": cmd_characterize, "gpu": cmd_gpu}
+    try:
+        return handler[args.command](args)
+    except KeyError as e:   # unknown workload/dataset names
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # output piped into head etc.
+        return 0
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(main())

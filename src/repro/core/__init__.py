@@ -1,0 +1,46 @@
+"""Core framework: the System G-style vertex-centric property graph,
+the simulated heap, the execution tracer, and the GraphBIG taxonomy."""
+
+from .errors import (
+    DuplicateEdge,
+    DuplicateVertex,
+    EdgeNotFound,
+    GraphError,
+    SchemaError,
+    TraceError,
+    VertexNotFound,
+)
+from .graph import EdgeNode, PropertyGraph, Vertex
+from .index import PropertyIndex, create_index
+from .memmodel import (
+    AGED_HEAP,
+    HEAP_BASE,
+    LINE_SIZE,
+    PACKED_HEAP,
+    PAGE_SIZE,
+    HeapModel,
+    SimAllocator,
+)
+from .properties import EMPTY_SCHEMA, Field, PropertyStats, Schema
+from .taxonomy import (
+    COMPUTATION_PROFILES,
+    DATA_SOURCE_PROFILES,
+    ComputationProfile,
+    ComputationType,
+    DataSource,
+    DataSourceProfile,
+    WorkloadCategory,
+)
+from .trace import FrozenTrace, Region, Tracer
+
+__all__ = [
+    "AGED_HEAP", "COMPUTATION_PROFILES", "DATA_SOURCE_PROFILES",
+    "DuplicateEdge", "DuplicateVertex", "EMPTY_SCHEMA", "EdgeNode",
+    "EdgeNotFound", "Field", "FrozenTrace", "GraphError", "HEAP_BASE",
+    "HeapModel", "LINE_SIZE", "PACKED_HEAP", "PAGE_SIZE", "PropertyGraph",
+    "PropertyStats", "Region", "Schema", "SchemaError", "SimAllocator",
+    "PropertyIndex", "TraceError", "Tracer", "Vertex", "VertexNotFound",
+    "create_index",
+    "ComputationProfile", "ComputationType", "DataSource",
+    "DataSourceProfile", "WorkloadCategory",
+]

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro graph framework.
+
+The framework mirrors the System G-style API abstracted by GraphBIG: a small
+set of typed errors lets workload code distinguish user mistakes (bad ids,
+schema violations) from internal invariant breakage.
+"""
+
+from __future__ import annotations
+
+
+class GraphError(Exception):
+    """Base class for all framework errors."""
+
+
+class VertexNotFound(GraphError, KeyError):
+    """Raised when a vertex id is not present in the graph."""
+
+    def __init__(self, vid: int):
+        super().__init__(f"vertex {vid!r} not found")
+        self.vid = vid
+
+
+class EdgeNotFound(GraphError, KeyError):
+    """Raised when an edge (src, dst) is not present in the graph."""
+
+    def __init__(self, src: int, dst: int):
+        super().__init__(f"edge ({src!r} -> {dst!r}) not found")
+        self.src = src
+        self.dst = dst
+
+
+class DuplicateVertex(GraphError, ValueError):
+    """Raised when adding a vertex id that already exists."""
+
+    def __init__(self, vid: int):
+        super().__init__(f"vertex {vid!r} already exists")
+        self.vid = vid
+
+
+class DuplicateEdge(GraphError, ValueError):
+    """Raised when adding an edge that already exists."""
+
+    def __init__(self, src: int, dst: int):
+        super().__init__(f"edge ({src!r} -> {dst!r}) already exists")
+        self.src = src
+        self.dst = dst
+
+
+class SchemaError(GraphError, ValueError):
+    """Raised on property-schema violations (unknown slot, bad layout)."""
+
+
+class TraceError(GraphError, RuntimeError):
+    """Raised on tracer misuse (unbalanced regions, missing registration)."""

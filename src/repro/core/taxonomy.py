@@ -1,0 +1,109 @@
+"""Graph-computing taxonomy: computation types and data-source types.
+
+Encodes the paper's Table 1 (graph computation types) and Table 2 (graph
+data sources) as first-class metadata.  Every workload in
+:mod:`repro.workloads` is tagged with a :class:`ComputationType`; every
+generator in :mod:`repro.datagen` is tagged with a :class:`DataSource`.
+The characterization harness groups results by these tags (Figs. 5–9, 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ComputationType(str, Enum):
+    """Paper Table 1 — the three graph computation types."""
+
+    #: Computation on the graph structure: irregular access pattern, heavy
+    #: read accesses (e.g. BFS traversal).
+    COMP_STRUCT = "CompStruct"
+    #: Computation on graphs with rich properties: heavy numeric operations
+    #: on properties (e.g. belief propagation / Gibbs inference).
+    COMP_PROP = "CompProp"
+    #: Computation on dynamic graphs: dynamic topology, dynamic memory
+    #: footprint, high write intensity (e.g. streaming graph updates).
+    COMP_DYN = "CompDyn"
+
+
+@dataclass(frozen=True)
+class ComputationProfile:
+    """Qualitative feature vector of a computation type (Table 1)."""
+
+    ctype: ComputationType
+    feature: str
+    example: str
+    read_intensity: str      # low / medium / high
+    write_intensity: str
+    numeric_intensity: str
+
+
+COMPUTATION_PROFILES: dict[ComputationType, ComputationProfile] = {
+    ComputationType.COMP_STRUCT: ComputationProfile(
+        ComputationType.COMP_STRUCT,
+        feature="Irregular access pattern, heavy read accesses",
+        example="BFS traversal",
+        read_intensity="high", write_intensity="low",
+        numeric_intensity="low"),
+    ComputationType.COMP_PROP: ComputationProfile(
+        ComputationType.COMP_PROP,
+        feature="Heavy numeric operations on properties",
+        example="Belief propagation",
+        read_intensity="medium", write_intensity="medium",
+        numeric_intensity="high"),
+    ComputationType.COMP_DYN: ComputationProfile(
+        ComputationType.COMP_DYN,
+        feature="Dynamic graph, dynamic memory footprint",
+        example="Streaming graph",
+        read_intensity="medium", write_intensity="high",
+        numeric_intensity="low"),
+}
+
+
+class DataSource(int, Enum):
+    """Paper Table 2 — the four graph data-source types (+ synthetic)."""
+
+    SOCIAL = 1        # social/economic/political network (Twitter graph)
+    INFORMATION = 2   # information/knowledge network (knowledge graph)
+    NATURE = 3        # nature/bio/cognitive network (gene network)
+    TECHNOLOGY = 4    # man-made technology network (road network)
+    SYNTHETIC = 5     # generator-produced (LDBC-style)
+
+
+@dataclass(frozen=True)
+class DataSourceProfile:
+    """Qualitative feature vector of a data-source type (Table 2)."""
+
+    source: DataSource
+    example: str
+    feature: str
+
+
+DATA_SOURCE_PROFILES: dict[DataSource, DataSourceProfile] = {
+    DataSource.SOCIAL: DataSourceProfile(
+        DataSource.SOCIAL, "Twitter graph",
+        "Large connected components, small shortest path lengths, "
+        "high degree variance"),
+    DataSource.INFORMATION: DataSourceProfile(
+        DataSource.INFORMATION, "Knowledge graph",
+        "Large vertex degrees, large small-hop neighbourhoods"),
+    DataSource.NATURE: DataSourceProfile(
+        DataSource.NATURE, "Gene network",
+        "Complex properties, structured topology"),
+    DataSource.TECHNOLOGY: DataSourceProfile(
+        DataSource.TECHNOLOGY, "Road network",
+        "Regular topology, small vertex degrees"),
+    DataSource.SYNTHETIC: DataSourceProfile(
+        DataSource.SYNTHETIC, "LDBC social-network generator",
+        "Facebook-like social features at arbitrary scale"),
+}
+
+
+class WorkloadCategory(str, Enum):
+    """Paper Table 4 — high-level usage grouping of the workloads."""
+
+    TRAVERSAL = "graph traversal"
+    UPDATE = "graph construction/update"
+    ANALYTICS = "graph analytics"
+    SOCIAL = "social analysis"

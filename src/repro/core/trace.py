@@ -1,0 +1,276 @@
+"""Execution tracer: the bridge between workloads and the architecture model.
+
+GraphBIG measures hardware events (cache misses, DTLB walks, branch
+mispredictions, cycle breakdown) with perf counters while workloads run on
+the System G framework.  Here, the framework primitives emit the equivalent
+event stream into a :class:`Tracer`:
+
+* **memory accesses** — virtual addresses from :mod:`repro.core.memmodel`,
+  consumed by the cache/TLB simulators (:mod:`repro.arch`),
+* **retired instruction counts** — charged per primitive with realistic
+  per-operation costs, giving the MPKI denominator and the cycle model input,
+* **conditional branch outcomes** — consumed by the branch predictor model,
+* **code-region transitions** — consumed by the ICache model; framework
+  regions vs user regions also give the in-framework time split (Fig. 1).
+
+The tracer is deliberately dumb and append-only; all analysis happens in
+:mod:`repro.arch` over the frozen numpy views returned by :meth:`Tracer.freeze`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import TraceError
+
+
+@dataclass(frozen=True)
+class Region:
+    """A static code region (≈ one framework primitive or user kernel).
+
+    ``code_bytes`` is the footprint of the region's instructions; the ICache
+    model touches ``code_bytes / 64`` lines when execution enters the region.
+    GraphBIG's framework has a *flat* hierarchy — few small regions — which
+    is why its ICache MPKI is low (paper Section 5.2.1 "Core analysis").
+    """
+
+    rid: int
+    name: str
+    code_bytes: int
+    framework: bool
+
+
+# ---------------------------------------------------------------------------
+# Framework region ids.  User regions are registered at runtime from rid 64.
+# ---------------------------------------------------------------------------
+R_IDLE = 0            # top-level user code outside any primitive
+R_FIND_VERTEX = 1
+R_ADD_VERTEX = 2
+R_DELETE_VERTEX = 3
+R_ADD_EDGE = 4
+R_FIND_EDGE = 5
+R_DELETE_EDGE = 6
+R_NEIGHBORS = 7
+R_PROP_GET = 8
+R_PROP_SET = 9
+R_VERTEX_SCAN = 10
+R_PAYLOAD = 11
+R_BUILD = 12          # bulk build/populate helpers
+
+USER_REGION_BASE = 64
+
+_FRAMEWORK_REGIONS = [
+    Region(R_IDLE, "user_top", 256, False),
+    Region(R_FIND_VERTEX, "find_vertex", 224, True),
+    Region(R_ADD_VERTEX, "add_vertex", 512, True),
+    Region(R_DELETE_VERTEX, "delete_vertex", 576, True),
+    Region(R_ADD_EDGE, "add_edge", 448, True),
+    Region(R_FIND_EDGE, "find_edge", 288, True),
+    Region(R_DELETE_EDGE, "delete_edge", 512, True),
+    Region(R_NEIGHBORS, "traverse_neighbors", 320, True),
+    Region(R_PROP_GET, "property_get", 128, True),
+    Region(R_PROP_SET, "property_set", 160, True),
+    Region(R_VERTEX_SCAN, "vertex_scan", 192, True),
+    Region(R_PAYLOAD, "payload_access", 192, True),
+    Region(R_BUILD, "graph_build", 640, True),
+]
+
+# ---------------------------------------------------------------------------
+# Static branch-site ids (for the branch predictor's per-site history).
+# ---------------------------------------------------------------------------
+B_EDGE_LOOP = 1        # "more edges?" loop back-branch in traverse_neighbors
+B_VERTEX_SCAN = 2      # vertex-scan loop back-branch
+B_FIND_HIT = 3         # "found?" test in find_vertex / find_edge
+B_DELETE_MATCH = 4     # "is this the edge to unlink?" in delete_edge
+B_DUP_CHECK = 5        # "does this edge already exist?" in add_edge
+USER_BRANCH_BASE = 64
+
+
+@dataclass
+class FrozenTrace:
+    """Immutable numpy view of a finished trace (input to the arch model)."""
+
+    addrs: np.ndarray       # uint64 byte addresses, program order
+    rw: np.ndarray          # uint8: 0 = load, 1 = store
+    iat: np.ndarray         # uint64 instruction index at each access
+    acc_region: np.ndarray  # uint32 region id active at each access
+    branch_sites: np.ndarray  # uint32 static site ids, program order
+    branch_taken: np.ndarray  # uint8 outcomes
+    region_seq: np.ndarray    # uint32 region ids, in visit order
+    region_instrs: np.ndarray  # uint64 instructions retired per visit
+    regions: dict[int, Region]
+    n_instrs: int
+    fw_instrs: int
+    fw_accesses: int
+    n_accesses: int
+
+    @property
+    def n_branches(self) -> int:
+        return len(self.branch_sites)
+
+    @property
+    def user_instrs(self) -> int:
+        return self.n_instrs - self.fw_instrs
+
+    def framework_fraction(self) -> float:
+        """Fraction of retired instructions spent inside framework
+        primitives — the proxy for the paper's in-framework execution time
+        (Fig. 1, avg ≈ 76 %)."""
+        if self.n_instrs == 0:
+            return 0.0
+        return self.fw_instrs / self.n_instrs
+
+
+class Tracer:
+    """Append-only event recorder attached to a :class:`PropertyGraph`.
+
+    Hot-path methods are single-letter (:meth:`r`, :meth:`w`, :meth:`i`,
+    :meth:`br`) because they are called per memory access / branch; the
+    descriptive aliases (``read``/``write``/...) delegate to them.
+    """
+
+    def __init__(self):
+        self._addrs: list[int] = []
+        self._rw: list[int] = []
+        self._iat: list[int] = []
+        self._acc_region: list[int] = []
+        self._bsites: list[int] = []
+        self._btaken: list[int] = []
+        self._rseq: list[int] = [R_IDLE]
+        self._rcnt: list[int] = [0]
+        self._rstack: list[int] = [R_IDLE]
+        self.regions: dict[int, Region] = {r.rid: r for r in _FRAMEWORK_REGIONS}
+        self._next_user_rid = USER_REGION_BASE
+        self._next_user_bsite = USER_BRANCH_BASE
+        self.n = 0              # retired instruction counter
+        self.fw_instrs = 0
+        self.fw_accesses = 0
+        self._cur_rid = R_IDLE
+        self._cur_fw = False    # region R_IDLE is user code
+
+    # -- region management --------------------------------------------------
+    def register_region(self, name: str, code_bytes: int = 256,
+                        framework: bool = False) -> int:
+        """Register a user code region (a workload kernel); returns its id."""
+        rid = self._next_user_rid
+        self._next_user_rid += 1
+        self.regions[rid] = Region(rid, name, code_bytes, framework)
+        return rid
+
+    def register_branch_site(self) -> int:
+        """Reserve a static branch-site id for a user (workload) branch."""
+        site = self._next_user_bsite
+        self._next_user_bsite += 1
+        return site
+
+    def enter(self, rid: int) -> None:
+        """Enter a code region (primitive call / kernel start)."""
+        self._rstack.append(rid)
+        self._rseq.append(rid)
+        self._rcnt.append(0)
+        self._cur_rid = rid
+        self._cur_fw = self.regions[rid].framework
+
+    def leave(self) -> None:
+        """Leave the current region, resuming its caller."""
+        if len(self._rstack) <= 1:
+            raise TraceError("unbalanced Tracer.leave()")
+        self._rstack.pop()
+        rid = self._rstack[-1]
+        self._rseq.append(rid)
+        self._rcnt.append(0)
+        self._cur_rid = rid
+        self._cur_fw = self.regions[rid].framework
+
+    # -- hot-path event recording -------------------------------------------
+    def r(self, addr: int) -> None:
+        """Record a load of ``addr``."""
+        self._addrs.append(addr)
+        self._rw.append(0)
+        self._iat.append(self.n)
+        self._acc_region.append(self._cur_rid)
+        if self._cur_fw:
+            self.fw_accesses += 1
+
+    def w(self, addr: int) -> None:
+        """Record a store to ``addr``."""
+        self._addrs.append(addr)
+        self._rw.append(1)
+        self._iat.append(self.n)
+        self._acc_region.append(self._cur_rid)
+        if self._cur_fw:
+            self.fw_accesses += 1
+
+    def i(self, count: int) -> None:
+        """Charge ``count`` retired instructions to the current region."""
+        self.n += count
+        self._rcnt[-1] += count
+        if self._cur_fw:
+            self.fw_instrs += count
+
+    def br(self, site: int, taken: bool) -> None:
+        """Record a conditional branch outcome at static ``site``."""
+        self._bsites.append(site)
+        self._btaken.append(1 if taken else 0)
+
+    # descriptive aliases
+    read = r
+    write = w
+    instr = i
+    branch = br
+
+    # -- bulk recording (vectorized producers, e.g. format converters) ------
+    def bulk_reads(self, addrs, instrs_per_access: int = 2) -> None:
+        """Record a batch of loads at ``addrs`` (iterable of ints),
+        charging ``instrs_per_access`` instructions around each."""
+        for a in addrs:
+            self.i(instrs_per_access)
+            self.r(a)
+
+    def bulk_writes(self, addrs, instrs_per_access: int = 2) -> None:
+        """Record a batch of stores (see :meth:`bulk_reads`)."""
+        for a in addrs:
+            self.i(instrs_per_access)
+            self.w(a)
+
+    # -- finishing -----------------------------------------------------------
+    @property
+    def n_accesses(self) -> int:
+        return len(self._addrs)
+
+    def freeze(self) -> FrozenTrace:
+        """Convert the accumulated events into a :class:`FrozenTrace`."""
+        return FrozenTrace(
+            addrs=np.asarray(self._addrs, dtype=np.uint64),
+            rw=np.asarray(self._rw, dtype=np.uint8),
+            iat=np.asarray(self._iat, dtype=np.uint64),
+            acc_region=np.asarray(self._acc_region, dtype=np.uint32),
+            branch_sites=np.asarray(self._bsites, dtype=np.uint32),
+            branch_taken=np.asarray(self._btaken, dtype=np.uint8),
+            region_seq=np.asarray(self._rseq, dtype=np.uint32),
+            region_instrs=np.asarray(self._rcnt, dtype=np.uint64),
+            regions=dict(self.regions),
+            n_instrs=self.n,
+            fw_instrs=self.fw_instrs,
+            fw_accesses=self.fw_accesses,
+            n_accesses=len(self._addrs),
+        )
+
+    def reset(self) -> None:
+        """Drop all recorded events (keeps registered regions/sites)."""
+        self._addrs.clear()
+        self._rw.clear()
+        self._iat.clear()
+        self._acc_region.clear()
+        self._bsites.clear()
+        self._btaken.clear()
+        self._rseq = [R_IDLE]
+        self._rcnt = [0]
+        self._rstack = [R_IDLE]
+        self.n = 0
+        self.fw_instrs = 0
+        self.fw_accesses = 0
+        self._cur_rid = R_IDLE
+        self._cur_fw = False

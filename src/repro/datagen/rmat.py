@@ -1,0 +1,48 @@
+"""R-MAT / Graph500-style recursive-matrix generator.
+
+Included because Graph 500's Kronecker generator is the reference synthetic
+workload GraphBIG is compared against (paper Table 3), and because R-MAT's
+skew parameters make handy ablation knobs for data-sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.taxonomy import DataSource
+from .spec import GraphSpec
+
+
+def rmat(scale: int = 12, edge_factor: int = 16,
+         a: float = 0.57, b: float = 0.19, c: float = 0.19,
+         seed: int = 0) -> GraphSpec:
+    """R-MAT graph with ``2**scale`` vertices, ``edge_factor`` edges per
+    vertex, and quadrant probabilities (a, b, c, d = 1-a-b-c).
+
+    Defaults are the Graph 500 parameters.  Fully vectorized: each of the
+    ``scale`` recursion levels draws one quadrant choice per edge.
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    if scale < 1 or scale > 28:
+        raise ValueError("scale must be in 1..28")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for _ in range(scale):
+        u = rng.random(m)
+        src <<= 1
+        dst <<= 1
+        # quadrants: [a | b / c | d] — b and d set the dst bit,
+        # c and d set the src bit
+        dst += ((u >= a) & (u < a + b)) | (u >= a + b + c)
+        src += u >= a + b
+    # Graph500 permutes vertex labels to hide the locality of the recursion
+    perm = rng.permutation(n)
+    return GraphSpec(f"RMAT-{scale}", DataSource.SYNTHETIC, n,
+                     np.column_stack([perm[src], perm[dst]]), directed=True,
+                     meta={"scale": scale, "edge_factor": edge_factor,
+                           "a": a, "b": b, "c": c, "seed": seed})

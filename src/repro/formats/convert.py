@@ -1,0 +1,89 @@
+"""Conversions between the dynamic vertex-centric graph and CSR/COO.
+
+This is the *graph populating* step of Section 4.1: GraphBIG's GPU
+benchmarks convert the dynamic vertex-centric CPU graph into CSR/COO before
+transferring it to device memory.  Vertex ids are compacted to a dense
+``0..n-1`` range (dynamic graphs can have holes after deletions); the
+mapping is returned so results can be reported in original ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.graph import PropertyGraph
+from .coo import COOGraph
+from .csr import CSRGraph, from_edge_arrays
+
+
+def compact_ids(g: PropertyGraph) -> tuple[np.ndarray, dict[int, int]]:
+    """Return ``(orig_ids_sorted, orig_id -> dense_id)`` for ``g``."""
+    ids = np.asarray(sorted(g.vertex_ids()), dtype=np.int64)
+    return ids, {int(v): i for i, v in enumerate(ids)}
+
+
+def to_edge_arrays(g: PropertyGraph,
+                   weight_prop: str | None = None
+                   ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray | None,
+                              np.ndarray]:
+    """Flatten ``g`` to ``(n, src, dst, vals, orig_ids)`` with dense ids."""
+    ids, remap = compact_ids(g)
+    src: list[int] = []
+    dst: list[int] = []
+    vals: list[float] = []
+    want_vals = weight_prop is not None
+    tracer = g.detach_tracer()   # populate/transfer is not part of the kernel
+    try:
+        for vid in ids:
+            v = g.find_vertex(int(vid))
+            for d, node in v.out.items():
+                src.append(remap[int(vid)])
+                dst.append(remap[d])
+                if want_vals:
+                    vals.append(float(g.eget(node, weight_prop)))
+    finally:
+        if tracer is not None:
+            g.attach_tracer(tracer)
+    return (len(ids),
+            np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64),
+            np.asarray(vals, dtype=np.float64) if want_vals else None,
+            ids)
+
+
+def to_csr(g: PropertyGraph, weight_prop: str | None = None
+           ) -> tuple[CSRGraph, np.ndarray]:
+    """Convert to CSR; returns ``(csr, orig_ids)``."""
+    n, src, dst, vals, ids = to_edge_arrays(g, weight_prop)
+    return from_edge_arrays(n, src, dst, vals), ids
+
+
+def to_coo(g: PropertyGraph, weight_prop: str | None = None
+           ) -> tuple[COOGraph, np.ndarray]:
+    """Convert to COO; returns ``(coo, orig_ids)``."""
+    n, src, dst, vals, ids = to_edge_arrays(g, weight_prop)
+    return COOGraph(n, src, dst, vals), ids
+
+
+def csr_to_coo(csr: CSRGraph) -> COOGraph:
+    """Expand a CSR's implicit row structure into explicit sources."""
+    src = np.repeat(np.arange(csr.n, dtype=np.int64), csr.degrees())
+    return COOGraph(csr.n, src, csr.col_idx.copy(),
+                    None if csr.vals is None else csr.vals.copy())
+
+
+def coo_to_csr(coo: COOGraph) -> CSRGraph:
+    """Sort a COO's edges by source into CSR form."""
+    return from_edge_arrays(coo.n, coo.src, coo.dst, coo.vals)
+
+
+def from_csr(csr: CSRGraph, **graph_kwargs) -> PropertyGraph:
+    """Materialize a CSR back into a dynamic vertex-centric graph."""
+    g = PropertyGraph(**graph_kwargs)
+    for v in range(csr.n):
+        g.add_vertex(v)
+    for v in range(csr.n):
+        for d in csr.neighbors(v):
+            if int(d) not in g.find_vertex(v).out:
+                g.add_edge(v, int(d))
+    return g

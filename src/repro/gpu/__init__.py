@@ -1,0 +1,22 @@
+"""GPU SIMT model: warp/divergence accounting, coalescing, K40-like device
+timing, the 8 GPU kernels, and the populate (CPU->GPU transfer) step."""
+
+from .device import K40, DeviceConfig, GPUMetrics, time_kernel
+from .kernels import GPU_KERNELS, UNDIRECTED_KERNELS, GPUKernel
+from .populate import PopulateResult, populate
+from .runner import run_gpu_workload
+from .simt import (
+    SEGMENT,
+    WARP_SIZE,
+    KernelAccum,
+    KernelStats,
+    slots_for_loop,
+    warp_of,
+)
+
+__all__ = [
+    "GPU_KERNELS", "GPUKernel", "GPUMetrics", "K40", "DeviceConfig",
+    "KernelAccum", "KernelStats", "PopulateResult", "SEGMENT",
+    "UNDIRECTED_KERNELS", "WARP_SIZE", "populate", "run_gpu_workload",
+    "slots_for_loop", "time_kernel", "warp_of",
+]

@@ -1,0 +1,120 @@
+"""GPU device model: Tesla K40-like timing from SIMT counters.
+
+Converts a kernel's :class:`~repro.gpu.simt.KernelStats` into execution
+time, achieved memory throughput and IPC (Fig. 11), using a three-bound
+roofline: instruction-issue bound, bandwidth bound, and latency bound
+(outstanding-transaction limited), plus an atomic-serialization term —
+the paper's explanation for DCentr's low performance despite its high
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .simt import KernelStats
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Tesla K40-like device parameters (paper Table 6's GPU)."""
+
+    name: str = "tesla-k40"
+    n_sms: int = 15
+    clock_ghz: float = 0.745
+    peak_bw_gbs: float = 288.0          # device-memory bandwidth
+    mem_latency: int = 400              # cycles, L2-miss to DRAM
+    l2_latency: int = 80                # cycles, L2 hit
+    l2_bytes: int = 8 * 1024            # scaled device L2 (real K40: 1.5 MB)
+    outstanding_per_sm: int = 48        # in-flight transactions per SM
+    atomic_conflict_cycles: int = 32    # serialization per same-addr clash
+    issue_per_sm: float = 1.0           # warp instructions / SM / cycle
+    launch_overhead_s: float = 1e-6     # host-side cost per kernel launch
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    @property
+    def peak_bw(self) -> float:
+        return self.peak_bw_gbs * 1e9
+
+
+K40 = DeviceConfig()
+
+
+@dataclass
+class GPUMetrics:
+    """Timing and divergence results for one GPU workload run."""
+
+    stats: KernelStats
+    device: DeviceConfig
+    t_compute: float
+    t_bandwidth: float
+    t_latency: float
+    t_atomic: float
+    t_launch: float = 0.0
+
+    @property
+    def exec_time(self) -> float:
+        """Kernel execution time in seconds (in-core, excludes transfer)."""
+        return (max(self.t_compute, self.t_bandwidth, self.t_latency)
+                + self.t_atomic + self.t_launch)
+
+    @property
+    def bdr(self) -> float:
+        return self.stats.bdr
+
+    @property
+    def mdr(self) -> float:
+        return self.stats.mdr
+
+    @property
+    def read_throughput_gbs(self) -> float:
+        """Achieved read throughput in GB/s (Fig. 11)."""
+        t = self.exec_time
+        return self.stats.bytes_read / t / 1e9 if t else 0.0
+
+    @property
+    def write_throughput_gbs(self) -> float:
+        t = self.exec_time
+        return self.stats.bytes_written / t / 1e9 if t else 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate warp-instructions per device cycle (Fig. 11)."""
+        t = self.exec_time
+        if not t:
+            return 0.0
+        return self.stats.total_issues / (t * self.device.clock_hz)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "bdr": self.bdr,
+            "mdr": self.mdr,
+            "read_gbs": self.read_throughput_gbs,
+            "write_gbs": self.write_throughput_gbs,
+            "ipc": self.ipc,
+            "exec_time_s": self.exec_time,
+            "launches": float(self.stats.launches),
+            "atomic_conflicts": float(self.stats.atomic_conflicts),
+        }
+
+
+def time_kernel(stats: KernelStats, device: DeviceConfig = K40
+                ) -> GPUMetrics:
+    """Apply the roofline timing model to accumulated kernel stats."""
+    d = device
+    t_compute = stats.total_issues / (d.n_sms * d.issue_per_sm * d.clock_hz)
+    t_bw = stats.bytes_total / d.peak_bw
+    conc = d.n_sms * d.outstanding_per_sm
+    t_lat = ((stats.dram_transactions * d.mem_latency
+              + (stats.slot_transactions - stats.dram_transactions)
+              * d.l2_latency)
+             / (conc * d.clock_hz))
+    t_atomic = (stats.atomic_conflicts * d.atomic_conflict_cycles
+                / (d.n_sms * d.clock_hz))
+    t_launch = stats.launches * d.launch_overhead_s
+    return GPUMetrics(stats=stats, device=d, t_compute=t_compute,
+                      t_bandwidth=t_bw, t_latency=t_lat, t_atomic=t_atomic,
+                      t_launch=t_launch)

@@ -1,0 +1,47 @@
+"""Export characterization results to CSV files (for plotting/papers).
+
+``export_all(rows, out_dir)`` writes one CSV per figure-style view plus a
+master per-run table — the artefact a downstream study would ingest.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from .metrics import CPU_COLUMNS, cpu_table, gpu_table
+from .comptype import breakdown_table, fig8_table
+from .report import write_csv
+from .runner import Row
+
+
+def export_all(rows: Sequence[Row], out_dir: str | os.PathLike) -> list[str]:
+    """Write every standard view of ``rows`` under ``out_dir``.
+
+    Returns the list of files written.  GPU views are skipped when no row
+    carries GPU metrics.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    written: list[str] = []
+
+    def emit(name: str, headers, table) -> None:
+        if not table:
+            return
+        path = os.path.join(out_dir, name)
+        write_csv(headers, table, path)
+        written.append(path)
+
+    emit("cpu_metrics.csv", CPU_COLUMNS, cpu_table(rows))
+    emit("cycle_breakdown.csv",
+         ["workload", "ctype", "frontend", "badspec", "retiring",
+          "backend"], breakdown_table(rows))
+    emit("comptype_averages.csv",
+         ["metric", "CompStruct", "CompProp", "CompDyn"], fig8_table(rows))
+    emit("gpu_metrics.csv",
+         ["workload", "dataset", "bdr", "mdr", "read_gbs", "ipc"],
+         gpu_table(rows))
+    fw = [[r.workload, r.dataset, r.result.trace.framework_fraction()]
+          for r in rows if r.result is not None and r.result.trace]
+    emit("framework_fraction.csv",
+         ["workload", "dataset", "framework_fraction"], fw)
+    return written

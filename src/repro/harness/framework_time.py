@@ -1,0 +1,28 @@
+"""In-framework execution time analysis (Fig. 1).
+
+The paper profiles System G workloads and finds 76 % of execution time is
+spent inside framework primitives on average, highest for traversal-based
+workloads.  Here the tracer's per-region instruction attribution provides
+the same split, weighted into time by the cycle model's IPC being roughly
+uniform across a run's regions (documented approximation).
+"""
+
+from __future__ import annotations
+
+from .runner import Row
+
+PAPER_AVG_FRAMEWORK_FRACTION = 0.76
+
+
+def framework_fractions(rows: list[Row]) -> dict[str, float]:
+    """Per-workload in-framework instruction fraction."""
+    out = {}
+    for r in rows:
+        if r.result is not None and r.result.trace is not None:
+            out[r.workload] = r.result.trace.framework_fraction()
+    return out
+
+
+def average_fraction(rows: list[Row]) -> float:
+    fr = framework_fractions(rows)
+    return sum(fr.values()) / len(fr) if fr else 0.0

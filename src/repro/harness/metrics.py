@@ -1,0 +1,50 @@
+"""Metric table assembly for the per-figure reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.taxonomy import ComputationType
+from .runner import Row
+
+#: Column order of the master CPU metrics table.
+CPU_COLUMNS = ("workload", "dataset", "ctype", "ipc", "l1d_mpki", "l2_mpki",
+               "l3_mpki", "l1d_hit", "l2_hit", "l3_hit", "dtlb_penalty",
+               "branch_miss_rate", "icache_mpki", "framework_fraction",
+               "cycles_frontend", "cycles_badspeculation",
+               "cycles_retiring", "cycles_backend")
+
+
+def cpu_table(rows: Sequence[Row]) -> list[list]:
+    """Flatten CPU rows into the master metric table."""
+    out = []
+    for r in rows:
+        if r.cpu is None:
+            continue
+        s = r.cpu.summary()
+        out.append([r.workload, r.dataset, r.ctype.value]
+                   + [s[c] for c in CPU_COLUMNS[3:]])
+    return out
+
+
+def gpu_table(rows: Sequence[Row]) -> list[list]:
+    """Flatten GPU rows into [workload, dataset, bdr, mdr, GB/s, ipc]."""
+    out = []
+    for r in rows:
+        if r.gpu is None:
+            continue
+        s = r.gpu.summary()
+        out.append([r.workload, r.dataset, s["bdr"], s["mdr"],
+                    s["read_gbs"], s["ipc"]])
+    return out
+
+
+def by_ctype(rows: Sequence[Row], metric: str) -> dict[ComputationType, float]:
+    """Average ``metric`` (a CPU summary key) per computation type —
+    the aggregation behind Fig. 8."""
+    sums: dict[ComputationType, list[float]] = {}
+    for r in rows:
+        if r.cpu is None:
+            continue
+        sums.setdefault(r.ctype, []).append(r.cpu.summary()[metric])
+    return {ct: sum(v) / len(v) for ct, v in sums.items() if v}

@@ -1,0 +1,67 @@
+"""Report rendering: ASCII tables, CSV export, paper-vs-measured views.
+
+Every benchmark prints its figure's data as a table with the paper's
+qualitative expectation alongside, so a run of ``pytest benchmarks/``
+doubles as the EXPERIMENTS.md evidence log.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None, floatfmt: str = ".3f") -> str:
+    """Render an ASCII table (monospace aligned)."""
+    def fmt(x: Any) -> str:
+        if isinstance(x, float):
+            return format(x, floatfmt)
+        return str(x)
+
+    srows = [[fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in srows)) if srows else len(h)
+              for i, h in enumerate(headers)]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for r in srows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def write_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+              path: str | os.PathLike) -> None:
+    """Write rows to a CSV file (for downstream plotting)."""
+    with open(path, "w", newline="", encoding="ascii") as f:
+        w = csv.writer(f)
+        w.writerow(headers)
+        w.writerows(rows)
+
+
+def to_csv_string(headers: Sequence[str],
+                  rows: Sequence[Sequence[Any]]) -> str:
+    """CSV text of a table (stdout-friendly)."""
+    buf = io.StringIO()
+    w = csv.writer(buf)
+    w.writerow(headers)
+    w.writerows(rows)
+    return buf.getvalue()
+
+
+def bar(value: float, vmax: float, width: int = 40) -> str:
+    """Unicode bar for quick visual comparison in terminal output."""
+    if vmax <= 0:
+        return ""
+    n = int(round(width * min(value, vmax) / vmax))
+    return "#" * n
+
+
+def paper_note(text: str) -> str:
+    """Standard 'paper reports ...' annotation line."""
+    return f"  [paper: {text}]"

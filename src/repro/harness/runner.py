@@ -1,0 +1,199 @@
+"""Characterization runner: workload x dataset -> full metric rows.
+
+Drives the paper's experimental matrix: build the dataset as a dynamic
+vertex-centric graph (aged heap), run the workload kernel under a fresh
+tracer, feed the trace to the CPU model — and, for GPU workloads, run the
+SIMT kernel over the populated CSR/COO.  Results are memoized per
+(workload, dataset, scale, seed, machine) so the per-figure benchmarks
+share one characterization pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..arch.cpu import CPUMetrics, CPUModel
+from ..arch.machine import SCALED_XEON, MachineConfig
+from ..bayes.munin import munin_like
+from ..core.graph import PropertyGraph
+from ..core.taxonomy import ComputationType
+from ..core.trace import Tracer
+from ..datagen.registry import make as make_dataset
+from ..datagen.spec import GraphSpec
+from ..gpu.device import K40, DeviceConfig, GPUMetrics
+from ..gpu.runner import run_gpu_workload
+from ..parallel.multicore import project_multicore
+from ..workloads import WORKLOADS, build_bn_graph
+from ..workloads.base import (
+    WorkloadResult,
+    common_edge_schema,
+    common_vertex_schema,
+)
+
+#: Workloads that can take every input dataset (the paper's Fig. 9 set
+#: excludes the ones that cannot — Gibbs needs a Bayesian network, GCons
+#: consumes an edge list, TMorph needs a DAG).
+DATA_SENSITIVE_WORKLOADS = ("BFS", "DFS", "SPath", "kCore", "CComp",
+                            "TC", "DCentr")
+
+#: The 12 CPU-characterized workloads of Figs. 5-8 (DFS included; the
+#: paper's 12 CPU workloads).
+CPU_WORKLOADS = ("BFS", "DFS", "GCons", "GUp", "TMorph", "SPath", "kCore",
+                 "CComp", "GColor", "TC", "Gibbs", "DCentr", "BCentr")
+
+#: GPU workload set (paper: 8 GPU workloads).
+GPU_WORKLOAD_SET = ("BFS", "SPath", "kCore", "CComp", "GColor", "TC",
+                    "DCentr", "BCentr")
+
+
+@dataclass
+class Row:
+    """One characterization result: workload x dataset."""
+
+    workload: str
+    dataset: str
+    ctype: ComputationType
+    cpu: CPUMetrics | None = None
+    gpu: GPUMetrics | None = None
+    result: WorkloadResult | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+_CACHE: dict[tuple, Row] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoized characterization rows (for tests)."""
+    _CACHE.clear()
+
+
+def _build_graph(spec: GraphSpec, tracer=None) -> PropertyGraph:
+    return spec.build(vertex_schema=common_vertex_schema(),
+                      edge_schema=common_edge_schema(), tracer=tracer)
+
+
+def _traversal_root(spec: GraphSpec) -> int:
+    """Highest-out-degree vertex: reaches the giant component."""
+    return int(np.argmax(spec.out_degrees()))
+
+
+def _dagify(spec: GraphSpec) -> list[tuple[int, int]]:
+    """Acyclic orientation of the dataset: higher-degree endpoint ->
+    lower-degree endpoint (degeneracy-style, bounded in-degrees — the
+    shape of real DAG data such as diagnostic networks)."""
+    e = spec.edges
+    deg = spec.degrees_undirected()
+    rank = np.lexsort((np.arange(spec.n), -deg))   # position by (-deg, id)
+    order = np.empty(spec.n, dtype=np.int64)
+    order[rank] = np.arange(spec.n)
+    a, b = e[:, 0], e[:, 1]
+    swap = order[a] > order[b]
+    src = np.where(swap, b, a)
+    dst = np.where(swap, a, b)
+    keep = src != dst
+    key = src[keep] * spec.n + dst[keep]
+    _, idx = np.unique(key, return_index=True)
+    return list(zip(src[keep][idx].tolist(), dst[keep][idx].tolist()))
+
+
+def run_cpu_workload(name: str, spec: GraphSpec, *,
+                     machine: MachineConfig = SCALED_XEON,
+                     gibbs_bn=None,
+                     params: dict[str, Any] | None = None
+                     ) -> tuple[WorkloadResult, CPUMetrics]:
+    """Run one CPU workload on ``spec`` and characterize its trace.
+
+    Handles each workload's input discipline: GCons gets an empty graph
+    plus the edge list, GUp deletes from a prebuilt graph, TMorph runs on
+    the DAG-ified dataset, Gibbs on a MUNIN-like network.
+    """
+    wl = WORKLOADS[name]()
+    tracer = Tracer()
+    params = dict(params or {})
+    if name == "GCons":
+        g = PropertyGraph(common_vertex_schema(), common_edge_schema(),
+                          directed=spec.directed)
+        params.setdefault("n_vertices", spec.n)
+        params.setdefault("edges", spec.edges)
+    elif name == "TMorph":
+        g = PropertyGraph(common_vertex_schema(), common_edge_schema())
+        for v in range(spec.n):
+            g.add_vertex(v)
+        for s, d in _dagify(spec):
+            g.add_edge(s, d)
+    elif name == "Gibbs":
+        bn = gibbs_bn if gibbs_bn is not None else munin_like()
+        g = build_bn_graph(bn)
+        params.setdefault("bn", bn)
+        params.setdefault("n_sweeps", 8)
+        params.setdefault("burn_in", 2)
+    else:
+        g = _build_graph(spec)
+        if name in ("BFS", "DFS", "SPath"):
+            params.setdefault("root", _traversal_root(spec))
+        if name == "GUp":
+            params.setdefault("fraction", 0.1)
+        if name == "BCentr":
+            params.setdefault("n_sources", 4)
+    result = wl.run(g, tracer=tracer, **params)
+    metrics = CPUModel(machine).run(result.trace,
+                                    footprint_bytes=g.alloc.footprint)
+    return result, metrics
+
+
+def _gpu_params(name: str, spec: GraphSpec) -> dict[str, Any]:
+    params: dict[str, Any] = {}
+    if name in ("BFS", "SPath"):
+        params["root"] = _traversal_root(spec)
+    if name == "BCentr":
+        params["n_sources"] = 4
+    return params
+
+
+def characterize(name: str, spec: GraphSpec, *,
+                 machine: MachineConfig = SCALED_XEON,
+                 device: DeviceConfig = K40,
+                 with_gpu: bool = False,
+                 cache_key: tuple | None = None) -> Row:
+    """Full characterization of one workload on one dataset (memoized)."""
+    key = cache_key or (name, spec.name, spec.n, spec.m, machine.name,
+                        with_gpu)
+    if key in _CACHE:
+        return _CACHE[key]
+    result, cpu = run_cpu_workload(name, spec, machine=machine)
+    row = Row(workload=name, dataset=spec.name,
+              ctype=WORKLOADS[name].CTYPE, cpu=cpu, result=result)
+    if with_gpu and name in GPU_WORKLOAD_SET:
+        outputs, gpu = run_gpu_workload(name, spec, device=device,
+                                        **_gpu_params(name, spec))
+        row.gpu = gpu
+        row.extras["gpu_outputs_keys"] = sorted(outputs)
+    _CACHE[key] = row
+    return row
+
+
+def gpu_speedup(row: Row, *, machine: MachineConfig = SCALED_XEON,
+                weights: np.ndarray | None = None) -> float:
+    """Fig. 12's metric: 16-core CPU in-core time / GPU kernel time."""
+    if row.cpu is None or row.gpu is None:
+        raise ValueError(f"row {row.workload}/{row.dataset} lacks "
+                         "CPU or GPU metrics")
+    barriers = 0
+    out = row.result.outputs if row.result else {}
+    for k in ("depth", "rounds", "launches"):
+        if k in out:
+            barriers = int(out[k])
+            break
+    mc = project_multicore(row.cpu.cycles, p=machine.n_cores,
+                           weights=weights, barriers=barriers,
+                           workload=row.workload)
+    cpu_time = mc.time_seconds(machine.freq_ghz)
+    return cpu_time / row.gpu.exec_time if row.gpu.exec_time else 0.0
+
+
+def default_dataset(scale: float = 1.0, seed: int = 0) -> GraphSpec:
+    """The LDBC characterization graph of Table 7 (scaled)."""
+    return make_dataset("ldbc", scale=scale, seed=seed)

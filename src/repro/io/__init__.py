@@ -1,0 +1,8 @@
+"""Dataset file I/O: edge lists and vertex-property sidecars."""
+
+from .csvgraph import load_csv_graph, save_csv_graph
+from .edgelist import load_edgelist, save_edgelist
+from .propfile import load_properties, save_properties
+
+__all__ = ["load_csv_graph", "load_edgelist", "load_properties",
+           "save_csv_graph", "save_edgelist", "save_properties"]

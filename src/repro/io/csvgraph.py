@@ -1,0 +1,93 @@
+"""GraphBIG-style CSV dataset format: ``vertex.csv`` + ``edge.csv``.
+
+The upstream GraphBIG release distributes its datasets as paired CSV
+files — a vertex file (``id[,prop...]``) and an edge file
+(``src,dst[,prop...]``) with a header row.  This module reads/writes that
+layout so datasets interchange with the original tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Any
+
+import numpy as np
+
+from ..core.taxonomy import DataSource
+from ..datagen.spec import GraphSpec
+
+
+def save_csv_graph(spec: GraphSpec, directory: str | os.PathLike,
+                   vertex_props: dict[int, dict[str, Any]] | None = None,
+                   ) -> tuple[str, str]:
+    """Write ``spec`` as ``vertex.csv`` + ``edge.csv`` under ``directory``.
+
+    Returns the two file paths.  Optional per-vertex properties become
+    extra vertex columns (union of keys; missing values empty).
+    """
+    os.makedirs(directory, exist_ok=True)
+    vpath = os.path.join(directory, "vertex.csv")
+    epath = os.path.join(directory, "edge.csv")
+    prop_keys: list[str] = []
+    if vertex_props:
+        prop_keys = sorted({k for d in vertex_props.values() for k in d})
+    with open(vpath, "w", newline="", encoding="utf-8") as f:
+        w = csv.writer(f)
+        w.writerow(["id"] + prop_keys)
+        for vid in range(spec.n):
+            props = (vertex_props or {}).get(vid, {})
+            w.writerow([vid] + [props.get(k, "") for k in prop_keys])
+    with open(epath, "w", newline="", encoding="utf-8") as f:
+        w = csv.writer(f)
+        w.writerow(["src", "dst"])
+        w.writerows(spec.edges.tolist())
+    return vpath, epath
+
+
+def load_csv_graph(directory: str | os.PathLike, *,
+                   name: str | None = None,
+                   directed: bool = True,
+                   source: DataSource = DataSource.SYNTHETIC
+                   ) -> tuple[GraphSpec, dict[int, dict[str, str]]]:
+    """Read a ``vertex.csv`` + ``edge.csv`` pair.
+
+    Returns ``(spec, vertex_props)``; property values are strings (the
+    CSV layer is untyped — see :mod:`repro.io.propfile` for typed
+    sidecars).
+    """
+    vpath = os.path.join(directory, "vertex.csv")
+    epath = os.path.join(directory, "edge.csv")
+    props: dict[int, dict[str, str]] = {}
+    max_id = -1
+    with open(vpath, newline="", encoding="utf-8") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        if not header or header[0] != "id":
+            raise ValueError(f"{vpath}: expected header starting with 'id'")
+        keys = header[1:]
+        for row in reader:
+            if not row:
+                continue
+            vid = int(row[0])
+            max_id = max(max_id, vid)
+            if keys:
+                props[vid] = {k: v for k, v in zip(keys, row[1:]) if v}
+    src: list[int] = []
+    dst: list[int] = []
+    with open(epath, newline="", encoding="utf-8") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        if not header or header[:2] != ["src", "dst"]:
+            raise ValueError(f"{epath}: expected 'src,dst' header")
+        for row in reader:
+            if not row:
+                continue
+            src.append(int(row[0]))
+            dst.append(int(row[1]))
+    n = max_id + 1
+    edges = (np.column_stack([src, dst]).astype(np.int64)
+             if src else np.empty((0, 2), dtype=np.int64))
+    spec = GraphSpec(name or os.path.basename(os.fspath(directory)),
+                     source, n, edges, directed=directed)
+    return spec, props

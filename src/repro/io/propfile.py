@@ -1,0 +1,56 @@
+"""Vertex-property file I/O (TSV: ``vid<TAB>name=value...``).
+
+Rich-property datasets (type-3 nature networks) carry per-vertex payloads;
+this sidecar format stores scalar properties next to an edge-list file.
+Values round-trip as int, float, or string (in that parse order).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+
+def _parse(value: str) -> Any:
+    for conv in (int, float):
+        try:
+            return conv(value)
+        except ValueError:
+            continue
+    return value
+
+
+def save_properties(props: dict[int, dict[str, Any]],
+                    path: str | os.PathLike) -> None:
+    """Write ``{vid: {name: value}}`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as f:
+        for vid in sorted(props):
+            fields = "\t".join(f"{k}={v}" for k, v in
+                               sorted(props[vid].items()))
+            f.write(f"{vid}\t{fields}\n")
+
+
+def load_properties(path: str | os.PathLike) -> dict[int, dict[str, Any]]:
+    """Read a property sidecar written by :func:`save_properties`."""
+    out: dict[int, dict[str, Any]] = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            try:
+                vid = int(parts[0])
+            except ValueError:
+                raise ValueError(f"{path}:{lineno}: bad vertex id") from None
+            d: dict[str, Any] = {}
+            for field in parts[1:]:
+                if not field:
+                    continue
+                key, sep, value = field.partition("=")
+                if not sep:
+                    raise ValueError(
+                        f"{path}:{lineno}: field {field!r} missing '='")
+                d[key] = _parse(value)
+            out[vid] = d
+    return out

@@ -1,0 +1,28 @@
+"""Multicore execution model: partitioners and the p-core time projection
+used as Fig. 12's 16-core CPU baseline."""
+
+from .multicore import (
+    BARRIER_CYCLES,
+    SERIAL_FRACTION,
+    MulticoreResult,
+    project_multicore,
+)
+from .trace_sim import (
+    MulticoreCacheResult,
+    llc_contention,
+    simulate_multicore,
+)
+from .partition import (
+    PARTITIONERS,
+    Partition,
+    block_partition,
+    cyclic_partition,
+    greedy_weighted_partition,
+)
+
+__all__ = [
+    "BARRIER_CYCLES", "MulticoreCacheResult", "PARTITIONERS", "Partition",
+    "MulticoreResult", "llc_contention", "simulate_multicore",
+    "SERIAL_FRACTION", "block_partition", "cyclic_partition",
+    "greedy_weighted_partition", "project_multicore",
+]

@@ -1,0 +1,59 @@
+"""BFS — breadth-first search (graph traversal, CompStruct).
+
+The most popular GraphBIG workload (10 of 21 use cases, Fig. 4(A)).
+Level-synchronous queue-based BFS over framework primitives: the frontier
+queue stays L1-resident while neighbour-list walks chase pointers across
+the heap — the canonical CompStruct signature (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.graph import PropertyGraph
+from ..core.taxonomy import ComputationType, WorkloadCategory
+from .base import NullTracer, TracedQueue, Workload
+
+
+class BFS(Workload):
+    """Breadth-first search from ``root``; labels ``level`` and ``parent``
+    vertex properties and returns them."""
+
+    NAME = "BFS"
+    CTYPE = ComputationType.COMP_STRUCT
+    CATEGORY = WorkloadCategory.TRAVERSAL
+    HAS_GPU = True
+
+    def kernel(self, g: PropertyGraph, t, *, root: int = 0,
+               **_: Any) -> dict[str, Any]:
+        site_visited = t.register_branch_site()
+        src = g.find_vertex(root)
+        g.vset(src, "level", 0)
+        g.vset(src, "parent", root)
+        q = TracedQueue(g, t)
+        q.push(src)
+        levels: dict[int, int] = {root: 0}
+        parents: dict[int, int] = {root: root}
+        visited = 1
+        while q:
+            v = q.pop()
+            lvl = g.vget(v, "level")
+            for dst, _node in g.neighbors(v):
+                w = g.find_vertex(dst)
+                t.i(4)
+                unvisited = g.vget(w, "level") < 0
+                t.br(site_visited, unvisited)
+                if unvisited:
+                    g.vset(w, "level", lvl + 1)
+                    g.vset(w, "parent", v.vid)
+                    levels[dst] = lvl + 1
+                    parents[dst] = v.vid
+                    visited += 1
+                    q.push(w)
+        return {"levels": levels, "parents": parents, "visited": visited}
+
+    @staticmethod
+    def reference(spec, root: int = 0) -> dict[int, int]:
+        """networkx ground-truth levels for a :class:`GraphSpec`."""
+        import networkx as nx
+        return nx.single_source_shortest_path_length(spec.nx(), root)

@@ -1,0 +1,64 @@
+"""DCentr — degree centrality (social analysis, CompStruct).
+
+Streams over every vertex struct reading its degree fields and writing the
+centrality property: almost no metadata reuse, so nearly every struct read
+misses — the suite's highest L3 MPKI (145.9) and an L1D hit-rate outlier
+(Fig. 9's "only limited amount of meta data accesses" note).  The GPU
+variant accumulates in-degrees with atomics, making DCentr the extreme
+corner of Fig. 10's divergence space.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.graph import PropertyGraph
+from ..core.taxonomy import ComputationType, WorkloadCategory
+from .base import Workload
+
+
+class DCentr(Workload):
+    """Degree centrality (in + out degree, normalized by n-1) written to
+    the ``dc`` property."""
+
+    NAME = "DCentr"
+    CTYPE = ComputationType.COMP_STRUCT
+    CATEGORY = WorkloadCategory.SOCIAL
+    HAS_GPU = True
+
+    def kernel(self, g: PropertyGraph, t, *, normalize: bool = False,
+               **_: Any) -> dict[str, Any]:
+        n = g.num_vertices
+        denom = (n - 1) if (normalize and n > 1) else 1
+        # pass 1: out-degrees from the degree field; in-degree counters
+        # accumulated by walking every out-edge and bumping the target's
+        # counter property — the scattered read-modify-write stream that
+        # makes DCentr the suite's MPKI maximum
+        indeg: dict[int, int] = {}
+        for v in g.vertices():
+            t.i(2)
+            g.degree(v)
+            for dst, _node in g.neighbors(v):
+                w = g.find_vertex(dst)
+                t.i(3)
+                cur = g.vget(w, "dc")
+                g.vset(w, "dc", (cur or 0) + 1)
+                indeg[dst] = indeg.get(dst, 0) + 1
+        # pass 2: combine and store the final score
+        dc: dict[int, float] = {}
+        for v in g.vertices():
+            t.i(4)
+            score = (g.degree(v) + indeg.get(v.vid, 0)) / denom
+            g.vset(v, "dc", score)
+            dc[v.vid] = score
+        return {"dc": dc}
+
+    @staticmethod
+    def reference(spec) -> dict[int, int]:
+        """in+out degree per vertex from the spec's edges."""
+        import numpy as np
+        deg = (np.bincount(spec.edges[:, 0], minlength=spec.n)
+               + np.bincount(spec.edges[:, 1], minlength=spec.n))
+        if not spec.directed:
+            deg = deg * 2   # each undirected edge stored as two arcs
+        return {v: int(deg[v]) for v in range(spec.n)}

@@ -1,0 +1,104 @@
+"""TC — triangle count (topological analytics, CompStruct).
+
+Schank's edge-iterator algorithm (the paper's stated implementation):
+order vertices, keep for each vertex its sorted higher-ordered neighbours,
+and merge-intersect the lists across every edge.  The merge's comparison
+branch is *data-dependent* — effectively random — which is exactly why TC
+shows the suite's worst branch miss rate (10.7 %, Fig. 6) and the highest
+BadSpeculation share (Fig. 5), while its compare-heavy inner loop gives it
+the top GPU IPC and the lowest memory throughput (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.graph import PropertyGraph
+from ..core.taxonomy import ComputationType, WorkloadCategory
+from .base import Workload
+
+ENTRY = 8
+
+
+class TC(Workload):
+    """Count triangles of the undirected simple view; returns the total
+    and the per-vertex counts."""
+
+    NAME = "TC"
+    CTYPE = ComputationType.COMP_STRUCT
+    CATEGORY = WorkloadCategory.ANALYTICS
+    HAS_GPU = True
+
+    def kernel(self, g: PropertyGraph, t, **_: Any) -> dict[str, Any]:
+        site_cmp = t.register_branch_site()
+        site_loop = t.register_branch_site()
+        ids = sorted(g.vertex_ids())
+        # degeneracy (Schank) ordering: rank vertices by increasing
+        # degree and orient every edge toward the higher-degree endpoint.
+        # Each oriented list is then O(sqrt(m)) — hubs keep only their
+        # few higher-degree peers — which is what makes the edge-iterator
+        # subquadratic on power-law graphs.
+        deg = {vid: (g.find_vertex(vid).degree
+                     + len(g.find_vertex(vid).inn)) for vid in ids}
+        rank = {vid: r for r, vid in enumerate(
+            sorted(ids, key=lambda v: (deg[v], v)))}
+        t.i(6 * len(ids))     # the ranking pass
+        higher: dict[int, list[int]] = {vid: [] for vid in ids}
+        for v in g.vertices():
+            for dst, _node in g.neighbors(v):
+                t.i(2)
+                if v.vid == dst:
+                    continue
+                a, b = ((v.vid, dst) if rank[v.vid] < rank[dst]
+                        else (dst, v.vid))
+                higher[a].append(b)
+        bases: dict[int, int] = {}
+        for vid in ids:
+            lst = sorted(set(higher[vid]), key=lambda u: (rank[u], u))
+            higher[vid] = lst
+            bases[vid] = g.alloc.alloc_array(max(len(lst), 1), ENTRY,
+                                             tag="tc_adj")
+            for i in range(len(lst)):
+                t.i(2)
+                t.w(bases[vid] + i * ENTRY)
+        total = 0
+        per_vertex: dict[int, int] = {vid: 0 for vid in ids}
+        for u in ids:
+            lu = higher[u]
+            bu = bases[u]
+            for vi, vvid in enumerate(lu):
+                t.r(bu + vi * ENTRY)
+                t.i(3)
+                lv = higher[vvid]
+                bv = bases[vvid]
+                # merge-intersection of lu[vi+1:] with lv
+                i, j = vi + 1, 0
+                while i < len(lu) and j < len(lv):
+                    t.i(4)
+                    t.r(bu + i * ENTRY)
+                    t.r(bv + j * ENTRY)
+                    t.br(site_loop, True)       # merge-loop bound (taken)
+                    t.br(site_loop, True)       # second bounds check
+                    a, b = lu[i], lv[j]
+                    t.br(site_cmp, rank[a] < rank[b])   # data-dependent
+                    if a == b:
+                        total += 1
+                        per_vertex[u] += 1
+                        per_vertex[vvid] += 1
+                        per_vertex[a] += 1
+                        i += 1
+                        j += 1
+                    elif rank[a] < rank[b]:
+                        i += 1
+                    else:
+                        j += 1
+                t.br(site_loop, False)
+        return {"triangles": total, "per_vertex": per_vertex}
+
+    @staticmethod
+    def reference(spec) -> int:
+        """networkx triangle total on the undirected simple view."""
+        import networkx as nx
+        und = nx.Graph(spec.nx())
+        und.remove_edges_from(nx.selfloop_edges(und))
+        return sum(nx.triangles(und).values()) // 3

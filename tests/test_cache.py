@@ -1,0 +1,171 @@
+"""Unit and property tests for the cache simulators (repro.arch)."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.arch import (
+    COLD,
+    Cache,
+    CacheConfig,
+    Fenwick,
+    miss_curve,
+    misses_for_assoc,
+    stack_distances,
+)
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        c = CacheConfig("t", size=4096, assoc=4, line=64)
+        assert c.n_sets == 16
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig("t", size=1000, assoc=4, line=64)
+
+    def test_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig("t", size=3 * 256, assoc=1, line=64)
+
+    def test_positive(self):
+        with pytest.raises(ValueError):
+            CacheConfig("t", size=0, assoc=1)
+
+
+class TestCacheBehaviour:
+    def cache(self, size=512, assoc=2, line=64):
+        return Cache(CacheConfig("t", size=size, assoc=assoc, line=line))
+
+    def test_first_touch_misses_then_hits(self):
+        c = self.cache()
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)          # same line
+        assert not c.access(64)      # next line
+
+    def test_lru_eviction(self):
+        # one set: 2-way, lines mapping to set 0 are multiples of 4 lines
+        c = self.cache(size=512, assoc=2)   # 4 sets
+        set_stride = 4 * 64
+        a, b, d = 0, set_stride, 2 * set_stride
+        c.access(a)
+        c.access(b)
+        c.access(d)                 # evicts a (LRU)
+        assert not c.access(a)
+        assert c.access(d)
+
+    def test_lru_refresh_on_hit(self):
+        c = self.cache(size=512, assoc=2)
+        stride = 4 * 64
+        c.access(0)
+        c.access(stride)
+        c.access(0)                 # refresh 0 -> MRU
+        c.access(2 * stride)        # evicts stride
+        assert c.access(0)
+        assert not c.access(stride)
+
+    def test_stats(self):
+        c = self.cache()
+        c.access(0)
+        c.access(0)
+        c.access(64, is_write=True)
+        st = c.stats
+        assert st.accesses == 3
+        assert st.misses == 2
+        assert st.write_misses == 1
+        assert st.hits == 1
+        assert st.miss_rate == pytest.approx(2 / 3)
+        assert st.mpki(1000) == pytest.approx(2.0)
+
+    def test_simulate_matches_access(self):
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 1 << 13, 500).astype(np.uint64)
+        c1 = self.cache()
+        mask = c1.simulate(addrs)
+        c2 = self.cache()
+        single = np.array([not c2.access(int(a)) for a in addrs])
+        assert np.array_equal(mask, single)
+
+    def test_reset(self):
+        c = self.cache()
+        c.access(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert not c.access(0)
+
+    def test_resident_lines_bounded(self):
+        c = self.cache(size=512, assoc=2)
+        rng = np.random.default_rng(0)
+        c.simulate(rng.integers(0, 1 << 16, 1000).astype(np.uint64))
+        assert c.resident_lines() <= 8   # 4 sets x 2 ways
+
+    def test_sequential_stream_hits_within_line(self):
+        c = self.cache(size=4096, assoc=4)
+        miss = c.simulate(np.arange(0, 1024, 8, dtype=np.uint64))
+        # one miss per 64B line
+        assert miss.sum() == 1024 // 64
+
+
+class TestFenwick:
+    def test_prefix_sums(self):
+        f = Fenwick(10)
+        f.add(0, 1)
+        f.add(5, 3)
+        assert f.prefix(0) == 1
+        assert f.prefix(4) == 1
+        assert f.prefix(5) == 4
+        assert f.range_sum(1, 5) == 3
+        f.add(5, -3)
+        assert f.prefix(9) == 1
+
+
+class TestStackDistance:
+    def test_simple_sequence(self):
+        # lines: A B A  -> distances: cold, cold, 1
+        addrs = np.array([0, 64, 0], dtype=np.uint64)
+        d = stack_distances(addrs, 64, n_sets=1)
+        assert d[0] == COLD and d[1] == COLD
+        assert d[2] == 1
+
+    def test_immediate_reuse_distance_zero(self):
+        d = stack_distances(np.array([0, 8, 0], dtype=np.uint64), 64, 1)
+        assert d[1] == 0    # same line as 0
+        assert d[2] == 0
+
+    def test_misses_for_assoc(self):
+        addrs = np.array([0, 64, 128, 0], dtype=np.uint64)
+        d = stack_distances(addrs, 64, 1)
+        assert misses_for_assoc(d, 2).tolist() == [True, True, True, True]
+        assert misses_for_assoc(d, 4).tolist() == [True, True, True, False]
+
+    def test_miss_curve_monotone_nonincreasing(self):
+        rng = np.random.default_rng(2)
+        addrs = rng.integers(0, 1 << 12, 800).astype(np.uint64)
+        d = stack_distances(addrs, 64, n_sets=4)
+        curve = miss_curve(d, max_assoc=16)
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    @given(st.integers(0, 5), st.lists(st.integers(0, 1 << 12),
+                                       min_size=1, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_direct_simulator(self, geom, raw):
+        size, assoc = [(256, 1), (512, 2), (512, 4), (1024, 4),
+                       (2048, 8), (4096, 2)][geom]
+        addrs = np.asarray(raw, dtype=np.uint64)
+        cache = Cache(CacheConfig("t", size=size, assoc=assoc, line=64))
+        direct = cache.simulate(addrs)
+        n_sets = size // (assoc * 64)
+        sd = stack_distances(addrs, 64, n_sets=n_sets)
+        assert np.array_equal(direct, misses_for_assoc(sd, assoc))
+
+    @given(st.lists(st.integers(0, 1 << 10), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_miss_curve_counts_match_simulator(self, raw):
+        addrs = np.asarray(raw, dtype=np.uint64)
+        d = stack_distances(addrs, 64, n_sets=2)
+        curve = miss_curve(d, max_assoc=8)
+        for assoc in (1, 2, 4, 8):
+            c = Cache(CacheConfig("t", size=2 * assoc * 64, assoc=assoc))
+            assert curve[assoc - 1] == c.simulate(addrs).sum()

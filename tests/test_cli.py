@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "BFS"])
+        assert args.workload == "BFS"
+        assert args.dataset == "ldbc"
+        assert args.scale == 0.25
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["characterize", "TC", "--dataset", "twitter",
+             "--scale", "0.1", "--seed", "3"])
+        assert args.dataset == "twitter"
+        assert args.scale == 0.1
+        assert args.seed == 3
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "BFS" in out and "Gibbs" in out and "Brandes" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "twitter" in out and "roadnet" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "DCentr", "--dataset", "roadnet",
+                     "--scale", "0.05"]) == 0
+        assert "dc" in capsys.readouterr().out
+
+    def test_run_unknown_workload(self, capsys):
+        assert main(["run", "PageRank", "--scale", "0.05"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_unknown_dataset(self, capsys):
+        assert main(["run", "BFS", "--dataset", "nope",
+                     "--scale", "0.05"]) == 2
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "DCentr", "--dataset", "roadnet",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "ipc" in out and "l3_mpki" in out
+
+    def test_gpu(self, capsys):
+        assert main(["gpu", "CComp", "--dataset", "roadnet",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "bdr" in out and "read_gbs" in out
+
+    def test_gpu_without_kernel(self, capsys):
+        assert main(["gpu", "DFS", "--scale", "0.05"]) == 2

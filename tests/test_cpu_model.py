@@ -1,0 +1,131 @@
+"""Unit tests for the top-down CPU cycle model and machine configs."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    CPUModel,
+    MemoryHierarchy,
+    PAPER_XEON,
+    SCALED_XEON,
+    TEST_MACHINE,
+    describe,
+)
+from repro.core import trace as T
+from repro.core.trace import Tracer
+
+
+def _trace(n_scatter=300, serial=False, seed=0):
+    """Synthetic trace: scattered loads with instructions and branches."""
+    rng = np.random.default_rng(seed)
+    t = Tracer()
+    region = T.R_NEIGHBORS if serial else T.R_VERTEX_SCAN
+    for _ in range(n_scatter):
+        t.enter(region)
+        t.i(8)
+        t.r(int(rng.integers(0, 1 << 22)) & ~7)
+        t.br(T.B_EDGE_LOOP, True)
+        t.leave()
+    t.br(T.B_EDGE_LOOP, False)
+    return t.freeze()
+
+
+class TestCycleModel:
+    def test_breakdown_sums_to_total(self):
+        m = CPUModel(TEST_MACHINE).run(_trace())
+        b = m.breakdown
+        assert b.total == pytest.approx(m.cycles)
+        assert sum(b.fractions().values()) == pytest.approx(1.0)
+
+    def test_ipc_positive_and_bounded(self):
+        m = CPUModel(TEST_MACHINE).run(_trace())
+        assert 0 < m.ipc <= TEST_MACHINE.issue_width
+
+    def test_scattered_trace_is_backend_bound(self):
+        m = CPUModel(TEST_MACHINE).run(_trace())
+        assert m.breakdown.fractions()["Backend"] > 0.5
+
+    def test_serial_regions_lower_mlp(self):
+        par = CPUModel(TEST_MACHINE).run(_trace(serial=False))
+        ser = CPUModel(TEST_MACHINE).run(_trace(serial=True))
+        assert ser.mlp <= par.mlp
+        assert ser.cycles >= par.cycles
+
+    def test_hot_trace_high_ipc(self):
+        t = Tracer()
+        for _ in range(500):
+            t.i(8)
+            t.r(64)           # always the same line
+        m = CPUModel(TEST_MACHINE).run(t.freeze())
+        assert m.ipc > 1.0
+        assert m.breakdown.fractions()["Retiring"] > 0.5
+
+    def test_dtlb_penalty_in_range(self):
+        m = CPUModel(TEST_MACHINE).run(_trace())
+        assert 0.0 <= m.dtlb_penalty < 1.0
+
+    def test_summary_keys(self):
+        s = CPUModel(TEST_MACHINE).run(_trace()).summary()
+        for key in ("ipc", "l1d_mpki", "l2_mpki", "l3_mpki", "dtlb_penalty",
+                    "branch_miss_rate", "icache_mpki", "cycles_backend",
+                    "framework_fraction", "mlp"):
+            assert key in s
+
+    def test_deep_stack_raises_frontend(self):
+        ft = _trace()
+        flat = CPUModel(TEST_MACHINE).run(ft)
+        deep = CPUModel(TEST_MACHINE).run(ft, stack_depth=8)
+        assert (deep.breakdown.frontend > flat.breakdown.frontend)
+
+    def test_footprint_recorded(self):
+        m = CPUModel(TEST_MACHINE).run(_trace(), footprint_bytes=12345)
+        assert m.footprint_bytes == 12345
+
+    def test_empty_trace(self):
+        # only the top-level region's compulsory ICache misses remain
+        m = CPUModel(TEST_MACHINE).run(Tracer().freeze())
+        assert m.breakdown.retiring == 0
+        assert m.breakdown.backend == 0
+        assert m.ipc == 0.0
+
+
+class TestHierarchy:
+    def test_miss_masks_nested(self):
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(0, 1 << 20, 2000).astype(np.uint64)
+        res = MemoryHierarchy(TEST_MACHINE).simulate(addrs)
+        # an L2 miss implies an L1 miss; an L3 miss implies an L2 miss
+        assert not (res.l2_miss & ~res.l1_miss).any()
+        assert not (res.l3_miss & ~res.l2_miss).any()
+
+    def test_latencies_consistent(self):
+        rng = np.random.default_rng(2)
+        addrs = rng.integers(0, 1 << 20, 2000).astype(np.uint64)
+        res = MemoryHierarchy(TEST_MACHINE).simulate(addrs)
+        assert (res.latency[~res.l1_miss] == 0).all()
+        assert (res.latency[res.l3_miss] == TEST_MACHINE.mem_latency).all()
+
+    def test_mpki_and_hit_rates(self):
+        addrs = np.arange(0, 64 * 100, 64, dtype=np.uint64)
+        res = MemoryHierarchy(TEST_MACHINE).simulate(addrs)
+        m = res.mpki(100_000)
+        assert m["L1D"] >= m["L2"] >= m["L3"]
+        hr = res.hit_rates()
+        assert all(0.0 <= v <= 1.0 for v in hr.values())
+
+
+class TestMachineConfigs:
+    def test_presets_valid(self):
+        for mc in (SCALED_XEON, TEST_MACHINE, PAPER_XEON):
+            assert mc.l1d.size < mc.l2.size < mc.l3.size
+            assert mc.tlb.entries > 0
+            assert mc.n_cores >= 1
+
+    def test_describe(self):
+        s = describe(SCALED_XEON)
+        assert "L1D" in s and "cores" in s
+
+    def test_scaled_l3_per_core(self):
+        share = SCALED_XEON.scaled_l3_per_core()
+        assert share.size <= SCALED_XEON.l3.size
+        assert share.n_sets & (share.n_sets - 1) == 0

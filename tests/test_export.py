@@ -1,0 +1,59 @@
+"""Tests for the CSV export module."""
+
+import csv
+import os
+
+import pytest
+
+from repro.arch.machine import TEST_MACHINE
+from repro.datagen import ldbc
+from repro.harness import characterize, clear_cache
+from repro.harness.export import export_all
+
+
+@pytest.fixture(scope="module")
+def rows():
+    clear_cache()
+    spec = ldbc(200, avg_degree=5, seed=0)
+    return [characterize(w, spec, machine=TEST_MACHINE,
+                         with_gpu=(w == "BFS"))
+            for w in ("BFS", "DCentr")]
+
+
+class TestExport:
+    def test_writes_expected_files(self, rows, tmp_path):
+        files = export_all(rows, tmp_path)
+        names = {os.path.basename(f) for f in files}
+        assert "cpu_metrics.csv" in names
+        assert "cycle_breakdown.csv" in names
+        assert "framework_fraction.csv" in names
+        assert "gpu_metrics.csv" in names       # BFS carried GPU metrics
+
+    def test_cpu_csv_parses(self, rows, tmp_path):
+        export_all(rows, tmp_path)
+        with open(tmp_path / "cpu_metrics.csv") as f:
+            parsed = list(csv.DictReader(f))
+        assert len(parsed) == 2
+        assert {p["workload"] for p in parsed} == {"BFS", "DCentr"}
+        assert float(parsed[0]["ipc"]) > 0
+
+    def test_breakdown_rows_sum_to_one(self, rows, tmp_path):
+        export_all(rows, tmp_path)
+        with open(tmp_path / "cycle_breakdown.csv") as f:
+            for p in csv.DictReader(f):
+                total = (float(p["frontend"]) + float(p["badspec"])
+                         + float(p["retiring"]) + float(p["backend"]))
+                assert total == pytest.approx(1.0)
+
+    def test_no_gpu_rows_no_gpu_file(self, tmp_path):
+        clear_cache()
+        spec = ldbc(200, avg_degree=5, seed=1)
+        rows = [characterize("DCentr", spec, machine=TEST_MACHINE)]
+        files = export_all(rows, tmp_path)
+        names = {os.path.basename(f) for f in files}
+        assert "gpu_metrics.csv" not in names
+
+    def test_creates_directory(self, rows, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        export_all(rows, target)
+        assert target.is_dir()

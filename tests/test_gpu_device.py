@@ -1,0 +1,92 @@
+"""Unit tests for the GPU device timing model and populate step."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import PropertyGraph
+from repro.gpu import K40, DeviceConfig, KernelStats, populate, time_kernel
+
+
+class TestTimingModel:
+    def test_roofline_takes_max(self):
+        st = KernelStats(warp_issues=1e6)
+        m = time_kernel(st, K40)
+        assert m.exec_time >= m.t_compute
+        assert m.t_bandwidth == 0.0
+
+    def test_compute_bound(self):
+        st = KernelStats(warp_issues=1e9)
+        m = time_kernel(st, K40)
+        assert m.exec_time == pytest.approx(
+            1e9 / (K40.n_sms * K40.clock_hz), rel=1e-6)
+
+    def test_bandwidth_bound(self):
+        st = KernelStats(bytes_read=int(288e9))   # 1 second at peak
+        m = time_kernel(st, K40)
+        assert m.t_bandwidth == pytest.approx(1.0)
+        assert m.read_throughput_gbs <= K40.peak_bw_gbs + 1e-6
+
+    def test_latency_term_counts_dram_heavier(self):
+        near = KernelStats(slot_transactions=1000, dram_transactions=0)
+        far = KernelStats(slot_transactions=1000, dram_transactions=1000)
+        assert (time_kernel(far, K40).t_latency
+                > time_kernel(near, K40).t_latency)
+
+    def test_atomic_conflicts_add_time(self):
+        a = KernelStats(warp_issues=100)
+        b = KernelStats(warp_issues=100, atomic_conflicts=10 ** 6)
+        assert time_kernel(b, K40).exec_time > time_kernel(a, K40).exec_time
+
+    def test_launch_overhead(self):
+        a = KernelStats(warp_issues=100, launches=1)
+        b = KernelStats(warp_issues=100, launches=100)
+        d = time_kernel(b, K40).exec_time - time_kernel(a, K40).exec_time
+        assert d == pytest.approx(99 * K40.launch_overhead_s)
+
+    def test_ipc_bounded_by_sms(self):
+        st = KernelStats(warp_issues=1e8)
+        m = time_kernel(st, K40)
+        assert m.ipc <= K40.n_sms + 1e-9
+
+    def test_summary_keys(self):
+        s = time_kernel(KernelStats(warp_issues=10), K40).summary()
+        for k in ("bdr", "mdr", "read_gbs", "ipc", "exec_time_s"):
+            assert k in s
+
+    def test_custom_device(self):
+        slow = DeviceConfig(n_sms=1, clock_ghz=0.1)
+        st = KernelStats(warp_issues=1e6)
+        assert (time_kernel(st, slow).exec_time
+                > time_kernel(st, K40).exec_time)
+
+
+class TestPopulate:
+    def _graph(self):
+        g = PropertyGraph()
+        for i in range(10):
+            g.add_vertex(i)
+        for i in range(9):
+            g.add_edge(i, i + 1)
+        return g
+
+    def test_populate_builds_both_formats(self):
+        res = populate(self._graph())
+        assert res.csr.n == 10 and res.csr.m == 9
+        assert res.coo.m == 9
+
+    def test_transfer_cost_positive(self):
+        res = populate(self._graph())
+        assert res.bytes_transferred > 0
+        assert res.total_time > 0
+        assert res.total_time == pytest.approx(
+            res.convert_time + res.transfer_time)
+
+    def test_larger_graph_more_bytes(self):
+        small = populate(self._graph())
+        g = PropertyGraph()
+        for i in range(100):
+            g.add_vertex(i)
+        for i in range(99):
+            g.add_edge(i, i + 1)
+        big = populate(g)
+        assert big.bytes_transferred > small.bytes_transferred

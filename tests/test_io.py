@@ -1,0 +1,89 @@
+"""Unit tests for dataset I/O (repro.io)."""
+
+import numpy as np
+import pytest
+
+from repro.core.taxonomy import DataSource
+from repro.datagen import GraphSpec, ldbc
+from repro.io import (
+    load_edgelist,
+    load_properties,
+    save_edgelist,
+    save_properties,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        spec = ldbc(300, avg_degree=5, seed=1)
+        path = tmp_path / "g.el"
+        save_edgelist(spec, path)
+        back = load_edgelist(path)
+        assert back.name == spec.name
+        assert back.n == spec.n
+        assert back.directed == spec.directed
+        assert back.source == spec.source
+        assert np.array_equal(np.sort(back.edges, axis=0),
+                              np.sort(spec.edges, axis=0))
+
+    def test_roundtrip_undirected(self, tmp_path):
+        spec = GraphSpec("road", DataSource.TECHNOLOGY, 4,
+                         [[0, 1], [1, 2]], directed=False)
+        path = tmp_path / "g.el"
+        save_edgelist(spec, path)
+        assert load_edgelist(path).directed is False
+
+    def test_headerless_file(self, tmp_path):
+        path = tmp_path / "raw.el"
+        path.write_text("0 1\n1 2\n# a comment\n2 0\n")
+        spec = load_edgelist(path)
+        assert spec.n == 3
+        assert spec.m == 3
+        assert spec.directed
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 1\n\n\n1 0\n")
+        assert load_edgelist(path).m == 2
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.el"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            load_edgelist(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.el"
+        path.write_text("")
+        spec = load_edgelist(path)
+        assert spec.n == 0 and spec.m == 0
+
+
+class TestPropFile:
+    def test_roundtrip_types(self, tmp_path):
+        props = {0: {"name": "gene", "score": 1.5, "count": 7},
+                 3: {"kind": "drug"}}
+        path = tmp_path / "p.tsv"
+        save_properties(props, path)
+        back = load_properties(path)
+        assert back == props
+        assert isinstance(back[0]["score"], float)
+        assert isinstance(back[0]["count"], int)
+        assert isinstance(back[0]["name"], str)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "p.tsv"
+        path.write_text("# header\n1\tx=2\n")
+        assert load_properties(path) == {1: {"x": 2}}
+
+    def test_bad_vertex_id(self, tmp_path):
+        path = tmp_path / "p.tsv"
+        path.write_text("abc\tx=1\n")
+        with pytest.raises(ValueError):
+            load_properties(path)
+
+    def test_missing_equals(self, tmp_path):
+        path = tmp_path / "p.tsv"
+        path.write_text("1\tnovalue\n")
+        with pytest.raises(ValueError):
+            load_properties(path)

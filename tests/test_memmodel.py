@@ -1,0 +1,99 @@
+"""Unit tests for the simulated heap (repro.core.memmodel)."""
+
+import pytest
+
+from repro.core.memmodel import (
+    AGED_HEAP,
+    LINE_SIZE,
+    PACKED_HEAP,
+    PAGE_SIZE,
+    HeapModel,
+    SimAllocator,
+    line_of,
+    page_of,
+)
+
+
+class TestHeapModel:
+    def test_alignment_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            HeapModel(align=24)
+
+    def test_negative_scatter_rejected(self):
+        with pytest.raises(ValueError):
+            HeapModel(scatter=-1)
+
+    def test_presets(self):
+        assert PACKED_HEAP.scatter == 0
+        assert AGED_HEAP.scatter > 0
+
+
+class TestSimAllocator:
+    def test_alignment(self):
+        a = SimAllocator(HeapModel(align=16))
+        for size in (1, 7, 15, 16, 100):
+            assert a.alloc(size) % 16 == 0
+
+    def test_packed_is_contiguous(self):
+        a = SimAllocator(PACKED_HEAP)
+        p = a.alloc(16)
+        q = a.alloc(16)
+        assert q == p + 16
+
+    def test_scatter_inserts_gaps(self):
+        a = SimAllocator(AGED_HEAP)
+        addrs = [a.alloc(16) for _ in range(200)]
+        gaps = [b - a_ - 16 for a_, b in zip(addrs, addrs[1:])]
+        assert any(g > 0 for g in gaps)
+
+    def test_scatter_is_deterministic(self):
+        a1 = SimAllocator(HeapModel(scatter=64, seed=3), base=0)
+        a2 = SimAllocator(HeapModel(scatter=64, seed=3), base=0)
+        assert [a1.alloc(8) for _ in range(50)] == \
+               [a2.alloc(8) for _ in range(50)]
+
+    def test_zero_size_rejected(self):
+        a = SimAllocator()
+        with pytest.raises(ValueError):
+            a.alloc(0)
+
+    def test_arenas_are_disjoint(self):
+        a = SimAllocator()
+        b = SimAllocator()
+        pa = a.alloc(1 << 20)
+        pb = b.alloc(1 << 20)
+        assert abs(pa - pb) >= (1 << 20)
+
+    def test_footprint_and_counts(self):
+        a = SimAllocator()
+        a.alloc(100)
+        a.alloc(28)
+        assert a.footprint == 128
+        assert a.n_allocs == 2
+
+    def test_tag_accounting(self):
+        a = SimAllocator()
+        a.alloc(64, tag="vertex")
+        a.alloc(32, tag="vertex")
+        a.alloc(16, tag="edge")
+        assert a.tag_bytes("vertex") == 96
+        assert a.tags() == {"vertex": 96, "edge": 16}
+        assert a.tag_bytes("missing") == 0
+
+    def test_pages_touched(self):
+        a = SimAllocator()
+        a.alloc(3 * PAGE_SIZE)
+        assert a.pages_touched >= 3
+
+    def test_alloc_array(self):
+        a = SimAllocator()
+        base = a.alloc_array(10, 8)
+        nxt = a.alloc(8)
+        assert nxt >= base + 80
+
+
+def test_line_and_page_helpers():
+    assert line_of(0) == 0
+    assert line_of(LINE_SIZE) == 1
+    assert line_of(LINE_SIZE - 1) == 0
+    assert page_of(PAGE_SIZE * 5 + 17) == 5

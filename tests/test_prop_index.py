@@ -1,0 +1,126 @@
+"""Tests for the secondary property index (repro.core.index)."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.graph import PropertyGraph
+from repro.core.index import create_index
+from repro.core.properties import Field, Schema
+from repro.core.trace import Tracer
+
+
+@pytest.fixture
+def g():
+    return PropertyGraph(Schema([Field("kind", default="plain"),
+                                 Field("level", default=-1)]))
+
+
+class TestBuildAndFind:
+    def test_indexes_existing_vertices(self, g):
+        for i in range(6):
+            g.add_vertex(i, kind="gene" if i % 2 else "drug")
+        idx = create_index(g, "kind")
+        assert sorted(v.vid for v in idx.find("gene")) == [1, 3, 5]
+        assert idx.count("drug") == 3
+        assert idx.count("nope") == 0
+
+    def test_unknown_property(self, g):
+        with pytest.raises(SchemaError):
+            create_index(g, "missing")
+
+    def test_bad_buckets(self, g):
+        with pytest.raises(ValueError):
+            create_index(g, "kind", n_buckets=0)
+
+    def test_values(self, g):
+        g.add_vertex(0, kind="a")
+        g.add_vertex(1, kind="b")
+        idx = create_index(g, "kind")
+        assert sorted(idx.values()) == ["a", "b"]
+
+
+class TestConsistencyUnderMutation:
+    def test_vset_moves_between_buckets(self, g):
+        v = g.add_vertex(0, kind="gene")
+        idx = create_index(g, "kind")
+        g.vset(v, "kind", "drug")
+        assert idx.count("gene") == 0
+        assert [w.vid for w in idx.find("drug")] == [0]
+
+    def test_new_vertices_indexed(self, g):
+        idx = create_index(g, "kind")
+        g.add_vertex(7, kind="gene")
+        g.add_vertex(8)              # default value
+        assert idx.count("gene") == 1
+        assert idx.count("plain") == 1
+
+    def test_delete_vertex_removes_entry(self, g):
+        g.add_vertex(0, kind="gene")
+        g.add_vertex(1, kind="gene")
+        idx = create_index(g, "kind")
+        g.delete_vertex(0)
+        assert [v.vid for v in idx.find("gene")] == [1]
+
+    def test_non_indexed_property_untouched(self, g):
+        v = g.add_vertex(0, kind="gene")
+        idx = create_index(g, "kind")
+        g.vset(v, "level", 3)
+        assert idx.count("gene") == 1
+
+    def test_two_indices(self, g):
+        v = g.add_vertex(0, kind="gene", level=2)
+        ik = create_index(g, "kind")
+        il = create_index(g, "level")
+        g.vset(v, "level", 5)
+        assert il.count(5) == 1 and il.count(2) == 0
+        assert ik.count("gene") == 1
+
+    def test_same_value_update_is_noop(self, g):
+        v = g.add_vertex(0, kind="gene")
+        idx = create_index(g, "kind")
+        g.vset(v, "kind", "gene")
+        assert idx.count("gene") == 1
+
+
+class TestTracing:
+    def test_lookup_emits_bucket_access(self):
+        t = Tracer()
+        g = PropertyGraph(Schema([Field("kind", default=0)]), tracer=t)
+        for i in range(4):
+            g.add_vertex(i, kind=i % 2)
+        idx = create_index(g, "kind")
+        before = t.n_accesses
+        list(idx.find(1))
+        assert t.n_accesses > before
+
+    def test_bucket_addresses_in_index_arena(self):
+        t = Tracer()
+        g = PropertyGraph(Schema([Field("kind", default=0)]), tracer=t)
+        g.add_vertex(0)
+        idx = create_index(g, "kind")
+        t2 = Tracer()
+        g.attach_tracer(t2)
+        idx.count(0)
+        ft = t2.freeze()
+        bucket_hits = [(a >= idx.base)
+                       & (a < idx.base + idx.n_buckets * 16)
+                       for a in ft.addrs.tolist()]
+        assert any(bucket_hits)
+
+
+class TestScenario:
+    def test_gene_network_query(self):
+        """The type-3 use case: find all vertices of one entity type."""
+        from repro.datagen import watson_gene
+        from repro.workloads import common_edge_schema
+        spec = watson_gene(400, seed=2)
+        schema = Schema([Field("etype", default=-1)])
+        g = PropertyGraph(schema, common_edge_schema())
+        for v in range(spec.n):
+            g.add_vertex(v, etype=int(spec.meta["entity_type"][v]))
+        for s, d in spec.edges:
+            g.add_edge(int(s), int(d))
+        idx = create_index(g, "etype")
+        counts = {t: idx.count(t) for t in (0, 1, 2)}
+        assert sum(counts.values()) == spec.n
+        assert counts[0] > counts[2]     # genes dominate the mix

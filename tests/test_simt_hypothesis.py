@@ -1,0 +1,70 @@
+"""Property-based tests on the SIMT accounting math."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.gpu.simt import WARP_SIZE, KernelAccum, slots_for_loop
+
+
+@given(st.lists(st.integers(0, 40), min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_loop_bdr_bounds(trips):
+    acc = KernelAccum()
+    acc.loop(np.asarray(trips, dtype=np.int64), 1.0)
+    st_ = acc.stats
+    assert 0.0 <= st_.bdr <= 1.0
+    # lane work never exceeds warp-issue capacity
+    assert st_.lane_issues <= WARP_SIZE * st_.warp_issues + 1e-9
+    # warp issues equal the sum of per-warp maxima
+    n = len(trips)
+    expect = sum(max(trips[i:i + WARP_SIZE])
+                 for i in range(0, n, WARP_SIZE))
+    assert st_.warp_issues == expect
+
+
+@given(st.lists(st.integers(0, 25), min_size=1, max_size=150))
+@settings(max_examples=60, deadline=None)
+def test_slots_for_loop_conservation(trips):
+    arr = np.asarray(trips, dtype=np.int64)
+    threads, steps, slots = slots_for_loop(arr)
+    assert len(threads) == arr.sum()
+    # per-thread step counts reconstruct the trips
+    counts = np.bincount(threads, minlength=len(arr)) \
+        if len(threads) else np.zeros(len(arr), dtype=np.int64)
+    assert np.array_equal(counts, arr)
+    # steps within each thread are 0..trips-1
+    for t in np.unique(threads):
+        got = np.sort(steps[threads == t])
+        assert np.array_equal(got, np.arange(arr[t]))
+
+
+@given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=128),
+       st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_mem_op_replay_bounds(addr_list, n_slots)  :
+    acc = KernelAccum()
+    addrs = np.asarray(addr_list, dtype=np.int64)
+    slots = np.arange(len(addrs)) % n_slots
+    acc.mem_op(slots, addrs)
+    st_ = acc.stats
+    assert 0.0 <= st_.mdr < 1.0
+    # replays bounded by accesses minus one per issued base instruction
+    assert st_.mem_replays <= max(len(addrs) - st_.mem_base_issues, 0) + \
+        st_.mem_base_issues * 31
+    assert st_.mem_base_issues <= min(n_slots, len(addrs))
+    # DRAM transactions can't exceed issue-level transactions
+    assert st_.dram_transactions <= st_.slot_transactions
+
+
+@given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_atomic_total_replays_bound(addr_list):
+    acc = KernelAccum()
+    addrs = np.asarray(addr_list, dtype=np.int64)
+    slots = np.zeros(len(addrs), dtype=np.int64)
+    acc.atomic_op(slots, addrs)
+    st_ = acc.stats
+    # full serialization bound: at most one issue plus a replay per lane
+    assert st_.mem_issued <= len(addrs) + 1
+    assert st_.atomic_conflicts == len(addrs) - len(np.unique(addrs))

@@ -1,0 +1,161 @@
+"""Unit tests for TLB, branch predictors, and the ICache model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    TLB,
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GSharePredictor,
+    ICache,
+    TLBConfig,
+    code_footprint,
+    deep_stack_regions,
+    simulate_branches,
+)
+from repro.arch.cache import CacheConfig
+from repro.arch.icache import expand_visits, layout_code
+from repro.core import trace as T
+from repro.core.memmodel import PAGE_SIZE
+from repro.core.trace import Tracer
+
+
+class TestTLB:
+    def test_page_granularity(self):
+        tlb = TLB(TLBConfig(entries=8, assoc=8))
+        miss = tlb.simulate(np.array([0, 100, PAGE_SIZE - 1, PAGE_SIZE],
+                                     dtype=np.uint64))
+        assert miss.tolist() == [True, False, False, True]
+
+    def test_capacity_eviction(self):
+        tlb = TLB(TLBConfig(entries=4, assoc=4))
+        pages = np.arange(8, dtype=np.uint64) * PAGE_SIZE
+        tlb.simulate(pages)
+        miss2 = tlb.simulate(pages[:1])
+        assert miss2[0]     # page 0 evicted by pages 4..7
+
+    def test_stats_and_penalty(self):
+        tlb = TLB(TLBConfig(entries=4, assoc=4, walk_latency=30))
+        tlb.simulate(np.array([0, 0, PAGE_SIZE], dtype=np.uint64))
+        st = tlb.stats()
+        assert st.accesses == 3
+        assert st.misses == 2
+        assert st.walk_cycles == 60
+        assert st.penalty_fraction(600) == pytest.approx(0.1)
+        assert st.mpki(2000) == pytest.approx(1.0)
+
+    def test_reset(self):
+        tlb = TLB(TLBConfig(entries=4, assoc=4))
+        tlb.simulate(np.array([0], dtype=np.uint64))
+        tlb.reset()
+        assert tlb.stats().accesses == 0
+
+
+class TestBranchPredictors:
+    def test_bimodal_learns_bias(self):
+        sites = np.full(1000, 7, dtype=np.uint32)
+        taken = np.ones(1000, dtype=np.uint8)
+        st = BimodalPredictor().simulate(sites, taken)
+        assert st.miss_rate < 0.01
+
+    def test_bimodal_random_is_bad(self):
+        rng = np.random.default_rng(0)
+        sites = np.full(2000, 7, dtype=np.uint32)
+        taken = rng.integers(0, 2, 2000).astype(np.uint8)
+        st = BimodalPredictor().simulate(sites, taken)
+        assert st.miss_rate > 0.3
+
+    def test_gshare_learns_alternation(self):
+        sites = np.full(2000, 3, dtype=np.uint32)
+        taken = np.tile([1, 0], 1000).astype(np.uint8)
+        st = GSharePredictor().simulate(sites, taken)
+        # history predictor nails a strict alternation; bimodal cannot
+        st_b = BimodalPredictor().simulate(sites, taken)
+        assert st.miss_rate < 0.05
+        assert st_b.miss_rate > 0.3
+
+    def test_gshare_loop_pattern(self):
+        # loop of 4 iterations: T T T N repeated
+        sites = np.full(4000, 5, dtype=np.uint32)
+        taken = np.tile([1, 1, 1, 0], 1000).astype(np.uint8)
+        st = GSharePredictor().simulate(sites, taken)
+        assert st.miss_rate < 0.05
+
+    def test_always_taken(self):
+        sites = np.zeros(10, dtype=np.uint32)
+        taken = np.array([1] * 7 + [0] * 3, dtype=np.uint8)
+        st = AlwaysTakenPredictor().simulate(sites, taken)
+        assert st.mispredicts == 3
+
+    def test_dispatcher(self):
+        st = simulate_branches(np.zeros(4, dtype=np.uint32),
+                               np.ones(4, dtype=np.uint8), kind="bimodal")
+        assert st.branches == 4
+        with pytest.raises(ValueError):
+            simulate_branches([], [], kind="oracle")
+
+    def test_empty_stream(self):
+        st = simulate_branches(np.array([], dtype=np.uint32),
+                               np.array([], dtype=np.uint8))
+        assert st.branches == 0
+        assert st.miss_rate == 0.0
+
+
+def _toy_trace(n_calls=200):
+    t = Tracer()
+    for _ in range(n_calls):
+        t.enter(T.R_FIND_VERTEX)
+        t.i(10)
+        t.leave()
+        t.enter(T.R_NEIGHBORS)
+        t.i(10)
+        t.leave()
+    return t.freeze()
+
+
+class TestICache:
+    def cfg(self, size=8 * 1024):
+        return CacheConfig("L1I", size=size, assoc=4, line=64)
+
+    def test_flat_stack_low_misses(self):
+        ft = _toy_trace()
+        st = ICache(self.cfg()).simulate(ft)
+        # all regions fit: only compulsory misses
+        assert st.misses <= code_footprint(ft.regions) // 64 + 2
+        assert st.mpki(ft.n_instrs) < 5
+
+    def test_deep_stack_increases_misses(self):
+        ft = _toy_trace()
+        flat = ICache(self.cfg(size=1024)).simulate(ft)
+        deep = ICache(self.cfg(size=1024)).simulate(ft, stack_depth=6)
+        assert deep.misses > flat.misses
+
+    def test_layout_disjoint(self):
+        ft = _toy_trace(2)
+        layout = layout_code(ft.regions)
+        spans = sorted((base, base + n * 64) for base, n in layout.values())
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_deep_stack_regions(self):
+        ft = _toy_trace(1)
+        deep = deep_stack_regions(ft.regions, depth=3)
+        assert len(deep) == len(ft.regions) * 4
+        assert code_footprint(deep) > code_footprint(ft.regions)
+
+    def test_expand_visits_depth_zero_identity(self):
+        ft = _toy_trace(1)
+        seq, regions = expand_visits(ft.region_seq, ft.regions, 0)
+        assert seq is ft.region_seq
+        assert regions is ft.regions
+
+    def test_expand_visits_interleaves_wrappers(self):
+        ft = _toy_trace(1)
+        seq, regions = expand_visits(ft.region_seq, ft.regions, 2)
+        assert len(seq) == 3 * len(ft.region_seq)
+
+    def test_empty_trace(self):
+        # only the top-level region's compulsory line touches
+        st = ICache(self.cfg()).simulate(Tracer().freeze())
+        assert st.misses <= 4

@@ -1,0 +1,172 @@
+"""Unit tests for the execution tracer (repro.core.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.core import trace as T
+from repro.core.trace import FrozenTrace, Tracer
+
+
+class TestEventRecording:
+    def test_reads_and_writes(self):
+        t = Tracer()
+        t.r(100)
+        t.w(200)
+        ft = t.freeze()
+        assert list(ft.addrs) == [100, 200]
+        assert list(ft.rw) == [0, 1]
+
+    def test_instruction_index_at_access(self):
+        t = Tracer()
+        t.i(5)
+        t.r(1)
+        t.i(3)
+        t.w(2)
+        ft = t.freeze()
+        assert list(ft.iat) == [5, 8]
+        assert ft.n_instrs == 8
+
+    def test_branches(self):
+        t = Tracer()
+        t.br(T.B_EDGE_LOOP, True)
+        t.br(T.B_EDGE_LOOP, False)
+        ft = t.freeze()
+        assert ft.n_branches == 2
+        assert list(ft.branch_taken) == [1, 0]
+
+    def test_aliases(self):
+        t = Tracer()
+        t.read(1)
+        t.write(2)
+        t.instr(3)
+        t.branch(1, True)
+        ft = t.freeze()
+        assert ft.n_accesses == 2
+        assert ft.n_instrs == 3
+        assert ft.n_branches == 1
+
+    def test_bulk_reads_writes(self):
+        t = Tracer()
+        t.bulk_reads([10, 20], instrs_per_access=3)
+        t.bulk_writes([30])
+        ft = t.freeze()
+        assert list(ft.addrs) == [10, 20, 30]
+        assert ft.n_instrs == 3 + 3 + 2
+
+
+class TestRegions:
+    def test_enter_leave_tracks_region(self):
+        t = Tracer()
+        t.r(1)
+        t.enter(T.R_FIND_VERTEX)
+        t.r(2)
+        t.leave()
+        t.r(3)
+        ft = t.freeze()
+        assert list(ft.acc_region) == [T.R_IDLE, T.R_FIND_VERTEX, T.R_IDLE]
+
+    def test_unbalanced_leave_raises(self):
+        t = Tracer()
+        with pytest.raises(TraceError):
+            t.leave()
+
+    def test_framework_instruction_split(self):
+        t = Tracer()
+        t.i(10)                      # user (R_IDLE)
+        t.enter(T.R_ADD_EDGE)
+        t.i(30)                      # framework
+        t.leave()
+        ft = t.freeze()
+        assert ft.fw_instrs == 30
+        assert ft.user_instrs == 10
+        assert ft.framework_fraction() == pytest.approx(0.75)
+
+    def test_framework_access_split(self):
+        t = Tracer()
+        t.r(1)
+        t.enter(T.R_NEIGHBORS)
+        t.r(2)
+        t.r(3)
+        t.leave()
+        assert t.fw_accesses == 2
+
+    def test_empty_trace_fraction_zero(self):
+        assert Tracer().freeze().framework_fraction() == 0.0
+
+    def test_region_sequence_records_visits(self):
+        t = Tracer()
+        t.enter(T.R_FIND_VERTEX)
+        t.leave()
+        t.enter(T.R_ADD_EDGE)
+        t.leave()
+        ft = t.freeze()
+        seq = list(ft.region_seq)
+        assert T.R_FIND_VERTEX in seq
+        assert T.R_ADD_EDGE in seq
+        assert seq[0] == T.R_IDLE
+
+    def test_region_instr_attribution(self):
+        t = Tracer()
+        t.enter(T.R_PROP_GET)
+        t.i(7)
+        t.leave()
+        ft = t.freeze()
+        idx = list(ft.region_seq).index(T.R_PROP_GET)
+        assert ft.region_instrs[idx] == 7
+
+
+class TestRegistration:
+    def test_register_region_ids_monotone(self):
+        t = Tracer()
+        r1 = t.register_region("k1")
+        r2 = t.register_region("k2", code_bytes=512)
+        assert r2 == r1 + 1
+        assert r1 >= T.USER_REGION_BASE
+        assert t.regions[r2].code_bytes == 512
+        assert not t.regions[r1].framework
+
+    def test_register_branch_site(self):
+        t = Tracer()
+        s1 = t.register_branch_site()
+        s2 = t.register_branch_site()
+        assert s2 == s1 + 1
+        assert s1 >= T.USER_BRANCH_BASE
+
+    def test_framework_regions_predefined(self):
+        t = Tracer()
+        assert t.regions[T.R_NEIGHBORS].framework
+        assert not t.regions[T.R_IDLE].framework
+
+
+class TestReset:
+    def test_reset_clears_events(self):
+        t = Tracer()
+        t.i(5)
+        t.r(1)
+        t.br(1, True)
+        t.enter(T.R_FIND_VERTEX)
+        t.leave()
+        t.reset()
+        ft = t.freeze()
+        assert ft.n_accesses == 0
+        assert ft.n_instrs == 0
+        assert ft.n_branches == 0
+        assert list(ft.region_seq) == [T.R_IDLE]
+
+    def test_reset_keeps_registrations(self):
+        t = Tracer()
+        rid = t.register_region("kern")
+        t.reset()
+        assert rid in t.regions
+
+
+def test_frozen_dtypes():
+    t = Tracer()
+    t.i(1)
+    t.r(12345)
+    ft = t.freeze()
+    assert ft.addrs.dtype == np.uint64
+    assert ft.rw.dtype == np.uint8
+    assert ft.acc_region.dtype == np.uint32
+    assert isinstance(ft, FrozenTrace)

@@ -1,0 +1,155 @@
+"""Correctness tests for the analytics and social workloads."""
+
+import numpy as np
+import pytest
+
+from repro import workloads as W
+from repro.core.trace import Tracer
+from repro.datagen import ca_road, ldbc, watson_gene
+from tests.conftest import build
+
+
+class TestKCore:
+    def test_matches_networkx(self, small_spec, small_graph):
+        res = W.run("kCore", small_graph)
+        assert res.outputs["core"] == W.KCore.reference(small_spec)
+
+    def test_max_core_consistent(self, small_graph):
+        res = W.run("kCore", small_graph)
+        assert res.outputs["max_core"] == max(res.outputs["core"].values())
+
+    def test_road_network(self):
+        spec = ca_road(400, seed=1)
+        g = build(spec)
+        res = W.run("kCore", g)
+        assert res.outputs["core"] == W.KCore.reference(spec)
+
+    def test_writes_core_property(self, small_graph):
+        res = W.run("kCore", small_graph)
+        for vid, k in list(res.outputs["core"].items())[:20]:
+            assert small_graph.vget(vid, "core") == k
+
+
+class TestCComp:
+    def test_component_count(self, small_spec, small_graph):
+        res = W.run("CComp", small_graph)
+        assert res.outputs["n_components"] == W.CComp.reference(small_spec)
+
+    def test_labels_partition_correctly(self, small_spec, small_graph):
+        import networkx as nx
+        res = W.run("CComp", small_graph)
+        comp = res.outputs["comp"]
+        und = nx.Graph(small_spec.nx())
+        for cset in nx.connected_components(und):
+            labels = {comp[v] for v in cset}
+            assert len(labels) == 1
+
+    def test_disconnected_graph(self):
+        spec = watson_gene(800, module_size=40, bridge_fraction=0.0,
+                           seed=4)
+        g = build(spec)
+        res = W.run("CComp", g)
+        assert res.outputs["n_components"] == W.CComp.reference(spec)
+        assert res.outputs["n_components"] > 1
+
+
+class TestGColor:
+    def test_proper_coloring(self, small_spec, small_graph):
+        res = W.run("GColor", small_graph, seed=1)
+        assert W.GColor.is_proper(small_spec, res.outputs["colors"])
+
+    def test_all_vertices_colored(self, small_graph):
+        res = W.run("GColor", small_graph, seed=2)
+        assert len(res.outputs["colors"]) == small_graph.num_vertices
+        assert min(res.outputs["colors"].values()) >= 0
+
+    def test_color_count_bounded_by_max_degree(self, tiny_spec):
+        g = build(tiny_spec)
+        res = W.run("GColor", g, seed=0)
+        maxdeg = int(tiny_spec.degrees_undirected().max())
+        assert res.outputs["n_colors"] <= maxdeg + 1
+
+    def test_different_seeds_both_proper(self, small_spec):
+        for seed in (3, 4):
+            g = build(small_spec)
+            res = W.run("GColor", g, seed=seed)
+            assert W.GColor.is_proper(small_spec, res.outputs["colors"])
+
+
+class TestTC:
+    def test_matches_networkx(self, small_spec, small_graph):
+        res = W.run("TC", small_graph)
+        assert res.outputs["triangles"] == W.TC.reference(small_spec)
+
+    def test_per_vertex_sums_to_three_times_total(self, small_graph):
+        res = W.run("TC", small_graph)
+        assert (sum(res.outputs["per_vertex"].values())
+                == 3 * res.outputs["triangles"])
+
+    def test_triangle_free_graph(self):
+        spec = ca_road(200, diagonal_fraction=0.0, seed=0)
+        g = build(spec)
+        res = W.run("TC", g)
+        assert res.outputs["triangles"] == W.TC.reference(spec)
+
+    def test_known_triangle(self):
+        from repro.core.graph import PropertyGraph
+        from repro.workloads import common_vertex_schema
+        g = PropertyGraph(common_vertex_schema())
+        for i in range(4):
+            g.add_vertex(i)
+        for s, d in [(0, 1), (1, 2), (2, 0), (0, 3)]:
+            g.add_edge(s, d)
+        assert W.run("TC", g).outputs["triangles"] == 1
+
+
+class TestDCentr:
+    def test_matches_degree_sums(self, small_spec, small_graph):
+        res = W.run("DCentr", small_graph)
+        ref = W.DCentr.reference(small_spec)
+        assert all(res.outputs["dc"][v] == ref[v] for v in ref)
+
+    def test_normalized(self, tiny_spec):
+        g = build(tiny_spec)
+        res = W.run("DCentr", g, normalize=True)
+        n = tiny_spec.n
+        ref = W.DCentr.reference(tiny_spec)
+        for v, d in ref.items():
+            assert res.outputs["dc"][v] == pytest.approx(d / (n - 1))
+
+    def test_final_property_value(self, small_graph):
+        res = W.run("DCentr", small_graph)
+        for vid in list(res.outputs["dc"])[:20]:
+            assert small_graph.vget(vid, "dc") == res.outputs["dc"][vid]
+
+
+class TestBCentr:
+    def test_exact_matches_networkx(self, tiny_spec):
+        g = build(tiny_spec)
+        res = W.run("BCentr", g)          # all sources
+        ref = W.BCentr.reference(tiny_spec)
+        for v, b in ref.items():
+            assert res.outputs["bc"][v] == pytest.approx(b, abs=1e-6)
+
+    def test_sampled_is_scaled_estimate(self, tiny_spec):
+        g = build(tiny_spec)
+        res = W.run("BCentr", g, n_sources=30, seed=1)
+        ref = W.BCentr.reference(tiny_spec)
+        top_ref = max(ref, key=ref.get)
+        got = res.outputs["bc"]
+        # the top exact vertex should rank highly in the estimate
+        rank = sorted(got, key=got.get, reverse=True).index(top_ref)
+        assert rank < max(5, len(got) // 10)
+
+    def test_star_graph_center(self):
+        from repro.core.graph import PropertyGraph
+        from repro.workloads import common_vertex_schema
+        g = PropertyGraph(common_vertex_schema(), directed=False)
+        for i in range(6):
+            g.add_vertex(i)
+        for i in range(1, 6):
+            g.add_edge(0, i)
+        res = W.run("BCentr", g)
+        bc = res.outputs["bc"]
+        assert bc[0] == max(bc.values())
+        assert all(bc[i] == pytest.approx(0.0) for i in range(1, 6))
