@@ -1,0 +1,17 @@
+"""Root conftest: keep the pytest config valid without pytest-timeout.
+
+pyproject.toml sets a global per-test timeout via the pytest-timeout
+plugin so a hung workload (or a deadlocked subprocess-isolation test)
+fails fast instead of wedging the suite.  When the plugin isn't installed
+we register its ini options as inert no-ops, so both ``pytest tests/``
+and ``pytest benchmarks/`` run warning-free either way.
+"""
+
+try:
+    import pytest_timeout  # noqa: F401
+except ImportError:
+    def pytest_addoption(parser):
+        parser.addini("timeout", "per-test timeout (pytest-timeout absent:"
+                      " inert)", default=None)
+        parser.addini("timeout_method", "timeout method (pytest-timeout "
+                      "absent: inert)", default=None)

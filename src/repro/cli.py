@@ -8,6 +8,9 @@ Examples::
     python -m repro characterize TC --dataset twitter --scale 0.1
     python -m repro gpu CComp --dataset roadnet --scale 0.25
     python -m repro datasets
+    python -m repro matrix --scale 0.05 --timeout 120 --retries 2 \\
+        --checkpoint sweep.jsonl --out results/
+    python -m repro matrix --scale 0.05 --resume --checkpoint sweep.jsonl
 """
 
 from __future__ import annotations
@@ -77,6 +80,84 @@ def cmd_gpu(args) -> int:
     return 0
 
 
+def cmd_matrix(args) -> int:
+    from .harness.export import export_all
+    from .harness.report import failure_table, format_table, matrix_table
+    from .harness.runner import CPU_WORKLOADS, GPU_WORKLOAD_SET
+    from .resilience import (
+        ChaosSpec,
+        CheckpointStore,
+        ExecutorConfig,
+        RetryPolicy,
+        matrix_cells,
+        run_matrix,
+    )
+
+    from .datagen.registry import REGISTRY
+    from .workloads import WORKLOADS
+
+    workloads = (CPU_WORKLOADS if args.workloads == "all"
+                 else tuple(args.workloads.split(",")))
+    datasets = tuple(args.datasets.split(","))
+    # config errors are deterministic: fail fast instead of burning the
+    # per-cell retry budget on a name that can never resolve
+    bad_w = sorted(set(workloads) - set(WORKLOADS))
+    bad_d = sorted(set(datasets) - set(REGISTRY))
+    if bad_w or bad_d:
+        if bad_w:
+            print(f"error: unknown workload(s) {', '.join(bad_w)}; "
+                  f"choose from {', '.join(sorted(WORKLOADS))}",
+                  file=sys.stderr)
+        if bad_d:
+            print(f"error: unknown dataset(s) {', '.join(bad_d)}; "
+                  f"choose from {', '.join(sorted(REGISTRY))}",
+                  file=sys.stderr)
+        return 2
+    if args.retries < 0 or args.timeout <= 0:
+        print("error: --retries must be >= 0 and --timeout > 0",
+              file=sys.stderr)
+        return 2
+    cells = matrix_cells(workloads, datasets, scale=args.scale,
+                         seed=args.seed, machine=args.machine,
+                         with_gpu=args.gpu,
+                         gpu_workloads=GPU_WORKLOAD_SET)
+    config = ExecutorConfig(
+        timeout_s=args.timeout,
+        policy=RetryPolicy(max_retries=args.retries, seed=args.seed),
+        isolation=args.isolation)
+    chaos = (ChaosSpec(p_fault=args.chaos_rate, seed=args.chaos_seed,
+                       kinds=("crash", "oom", "hang"))
+             if args.chaos_rate > 0 else None)
+    checkpoint = CheckpointStore(args.checkpoint) if args.checkpoint else None
+    if args.resume and checkpoint is None:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    print(f"matrix: {len(cells)} cells "
+          f"({len(workloads)} workloads x {len(datasets)} datasets), "
+          f"timeout {args.timeout:g}s, {args.retries} retries"
+          + (", resuming" if args.resume else ""))
+    result = run_matrix(cells, config=config, chaos=chaos,
+                        checkpoint=checkpoint, resume=args.resume,
+                        progress=lambda line: print(f"  {line}"))
+    print(f"\ncompleted {len(result.rows)}/{result.total_cells} cells "
+          f"({result.resumed} resumed, {result.executed} executed, "
+          f"{len(result.failures)} failed)")
+    print()
+    print(matrix_table(result.rows, result.failures, metric=args.metric))
+    if result.failures:
+        print()
+        print(format_table(
+            ["workload", "dataset", "failure", "attempts", "detail"],
+            failure_table(result.failures), title="failed cells"))
+    if args.out:
+        written = export_all(result.rows, args.out,
+                             failures=result.failures)
+        print()
+        for path in written:
+            print(f"wrote {path}")
+    return 0 if result.complete else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -99,13 +180,58 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sub.add_parser(
         "characterize", help="run + CPU architectural characterization"))
     add_common(sub.add_parser("gpu", help="run the GPU kernel + metrics"))
+
+    m = sub.add_parser(
+        "matrix",
+        help="resilient full-matrix sweep: isolation, timeout/retry, "
+             "checkpoint-resume")
+    m.add_argument("--workloads", default="all",
+                   help="comma-separated workload names, or 'all' "
+                        "(default: the 13 CPU workloads)")
+    m.add_argument("--datasets",
+                   default="twitter,knowledge,watson,roadnet,ldbc",
+                   help="comma-separated registry dataset keys "
+                        "(default: the Table 7 suite)")
+    m.add_argument("--scale", type=float, default=0.25,
+                   help="dataset scale factor (default: 0.25)")
+    m.add_argument("--seed", type=int, default=0)
+    m.add_argument("--machine", default="scaled",
+                   choices=("scaled", "test", "paper"),
+                   help="named machine configuration (default: scaled)")
+    m.add_argument("--gpu", action="store_true",
+                   help="also run the GPU model on GPU-capable workloads")
+    m.add_argument("--timeout", type=float, default=300.0,
+                   help="per-cell wall-clock timeout in seconds "
+                        "(default: 300)")
+    m.add_argument("--retries", type=int, default=2,
+                   help="retries per failing cell, exponential backoff "
+                        "(default: 2)")
+    m.add_argument("--resume", action="store_true",
+                   help="skip cells already completed in --checkpoint")
+    m.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="JSON-lines journal of completed cells "
+                        "(enables resume)")
+    m.add_argument("--out", default=None, metavar="DIR",
+                   help="export CSV views (incl. failures.csv) here")
+    m.add_argument("--metric", default="ipc",
+                   help="metric for the printed grid (default: ipc)")
+    m.add_argument("--isolation", default="process",
+                   choices=("process", "inline"),
+                   help="worker isolation; 'inline' skips subprocesses "
+                        "(no real timeouts — debugging only)")
+    m.add_argument("--chaos-rate", type=float, default=0.0,
+                   help="deterministic fault-injection probability per "
+                        "cell attempt (testing the harness itself)")
+    m.add_argument("--chaos-seed", type=int, default=0,
+                   help="seed for the chaos RNG (default: 0)")
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"list": cmd_list, "datasets": cmd_datasets, "run": cmd_run,
-               "characterize": cmd_characterize, "gpu": cmd_gpu}
+               "characterize": cmd_characterize, "gpu": cmd_gpu,
+               "matrix": cmd_matrix}
     try:
         return handler[args.command](args)
     except KeyError as e:   # unknown workload/dataset names

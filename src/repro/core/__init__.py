@@ -2,10 +2,17 @@
 the simulated heap, the execution tracer, and the GraphBIG taxonomy."""
 
 from .errors import (
+    CellCrash,
+    CellExecutionError,
+    CellOOM,
+    CellTimeout,
     DuplicateEdge,
     DuplicateVertex,
     EdgeNotFound,
     GraphError,
+    HarnessError,
+    MetricsUnavailable,
+    RetriesExhausted,
     SchemaError,
     TraceError,
     VertexNotFound,
@@ -34,9 +41,11 @@ from .taxonomy import (
 from .trace import FrozenTrace, Region, Tracer
 
 __all__ = [
-    "AGED_HEAP", "COMPUTATION_PROFILES", "DATA_SOURCE_PROFILES",
+    "AGED_HEAP", "COMPUTATION_PROFILES", "CellCrash", "CellExecutionError",
+    "CellOOM", "CellTimeout", "DATA_SOURCE_PROFILES",
     "DuplicateEdge", "DuplicateVertex", "EMPTY_SCHEMA", "EdgeNode",
     "EdgeNotFound", "Field", "FrozenTrace", "GraphError", "HEAP_BASE",
+    "HarnessError", "MetricsUnavailable", "RetriesExhausted",
     "HeapModel", "LINE_SIZE", "PACKED_HEAP", "PAGE_SIZE", "PropertyGraph",
     "PropertyStats", "Region", "Schema", "SchemaError", "SimAllocator",
     "PropertyIndex", "TraceError", "Tracer", "Vertex", "VertexNotFound",

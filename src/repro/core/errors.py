@@ -52,3 +52,79 @@ class SchemaError(GraphError, ValueError):
 
 class TraceError(GraphError, RuntimeError):
     """Raised on tracer misuse (unbalanced regions, missing registration)."""
+
+
+# -- characterization-harness failure taxonomy ------------------------------
+#
+# The resilient matrix runner (repro.resilience) executes every
+# workload x dataset cell in an isolated worker; these errors classify how
+# a cell can fail so the harness can retry, checkpoint, and degrade
+# gracefully instead of losing the sweep.
+
+class HarnessError(GraphError):
+    """Base class for characterization-harness failures."""
+
+
+class MetricsUnavailable(HarnessError, ValueError):
+    """A metric was requested from a Row lacking the measurements it needs
+    (e.g. GPU speedup on a CPU-only row)."""
+
+
+class CellExecutionError(HarnessError):
+    """Base class for per-cell failures in the resilient matrix runner.
+
+    ``kind`` is the stable machine-readable tag journaled to checkpoints
+    and rendered in failure reports.
+    """
+
+    kind = "error"
+
+    def __init__(self, cell_id: str, message: str):
+        super().__init__(f"[{cell_id}] {message}")
+        self.cell_id = cell_id
+        self.message = message
+
+
+class CellTimeout(CellExecutionError):
+    """A worker exceeded its wall-clock budget and was killed."""
+
+    kind = "timeout"
+
+    def __init__(self, cell_id: str, timeout_s: float):
+        super().__init__(cell_id,
+                         f"exceeded wall-clock timeout of {timeout_s:g}s")
+        self.timeout_s = timeout_s
+
+
+class CellCrash(CellExecutionError):
+    """A worker died (signal, unhandled exception, or corrupt payload)."""
+
+    kind = "crash"
+
+    def __init__(self, cell_id: str, detail: str):
+        super().__init__(cell_id, f"worker crashed: {detail}")
+        self.detail = detail
+
+
+class CellOOM(CellExecutionError):
+    """A worker hit an allocator failure (MemoryError)."""
+
+    kind = "oom"
+
+    def __init__(self, cell_id: str, detail: str = "MemoryError"):
+        super().__init__(cell_id, f"allocator failure: {detail}")
+        self.detail = detail
+
+
+class RetriesExhausted(CellExecutionError):
+    """Every attempt at a cell failed; carries the last failure."""
+
+    kind = "retries-exhausted"
+
+    def __init__(self, cell_id: str, attempts: int,
+                 last: CellExecutionError):
+        super().__init__(cell_id,
+                         f"all {attempts} attempts failed; "
+                         f"last: {last.kind}: {last.message}")
+        self.attempts = attempts
+        self.last = last

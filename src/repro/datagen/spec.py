@@ -47,6 +47,12 @@ class GraphSpec:
         """Number of (deduplicated, loop-free) edges in the spec."""
         return len(self.edges)
 
+    @property
+    def seed(self):
+        """Generator seed recorded by the dataset factory (None for
+        hand-built specs) — part of the dataset's identity for caching."""
+        return self.meta.get("seed")
+
     def out_degrees(self) -> np.ndarray:
         """Out-degree per vertex (spec edges, before symmetrization)."""
         return np.bincount(self.edges[:, 0], minlength=self.n)

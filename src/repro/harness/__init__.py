@@ -9,7 +9,16 @@ from .framework_time import (
     framework_fractions,
 )
 from .metrics import CPU_COLUMNS, by_ctype, cpu_table, gpu_table
-from .report import bar, format_table, paper_note, to_csv_string, write_csv
+from .report import (
+    FAILURE_COLUMNS,
+    bar,
+    failure_table,
+    format_table,
+    matrix_table,
+    paper_note,
+    to_csv_string,
+    write_csv,
+)
 from .runner import (
     CPU_WORKLOADS,
     DATA_SENSITIVE_WORKLOADS,
@@ -25,11 +34,13 @@ from .sensitivity import pivot, sensitivity_rows, spread
 
 __all__ = [
     "CPU_COLUMNS", "CPU_WORKLOADS", "DATA_SENSITIVE_WORKLOADS",
-    "FIG8_METRICS", "GPU_WORKLOAD_SET", "PAPER_AVG_FRAMEWORK_FRACTION",
+    "FAILURE_COLUMNS", "FIG8_METRICS", "GPU_WORKLOAD_SET",
+    "PAPER_AVG_FRAMEWORK_FRACTION",
     "Row", "average_fraction", "bar", "breakdown_table", "by_ctype",
     "characterize", "clear_cache", "cpu_table", "default_dataset",
-    "export_all",
+    "export_all", "failure_table",
     "fig8_table", "format_table", "framework_fractions", "gpu_speedup",
-    "gpu_table", "paper_note", "pivot", "run_cpu_workload",
+    "gpu_table", "matrix_table", "paper_note", "pivot",
+    "run_cpu_workload",
     "sensitivity_rows", "spread", "to_csv_string", "write_csv",
 ]

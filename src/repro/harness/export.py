@@ -11,15 +11,20 @@ from typing import Sequence
 
 from .metrics import CPU_COLUMNS, cpu_table, gpu_table
 from .comptype import breakdown_table, fig8_table
-from .report import write_csv
+from .report import FAILURE_COLUMNS, failure_table, write_csv
 from .runner import Row
 
 
-def export_all(rows: Sequence[Row], out_dir: str | os.PathLike) -> list[str]:
+def export_all(rows: Sequence[Row], out_dir: str | os.PathLike,
+               failures: Sequence = ()) -> list[str]:
     """Write every standard view of ``rows`` under ``out_dir``.
 
     Returns the list of files written.  GPU views are skipped when no row
-    carries GPU metrics.
+    carries GPU metrics.  A partial matrix exports cleanly: rows restored
+    from a checkpoint (no live trace) are simply absent from the
+    framework-fraction view, and ``failures`` (CellFailure objects or
+    journal dicts from a resilient sweep) become ``failures.csv`` so
+    downstream consumers see which cells are missing and why.
     """
     os.makedirs(out_dir, exist_ok=True)
     written: list[str] = []
@@ -44,4 +49,5 @@ def export_all(rows: Sequence[Row], out_dir: str | os.PathLike) -> list[str]:
           for r in rows if r.result is not None and r.result.trace]
     emit("framework_fraction.csv",
          ["workload", "dataset", "framework_fraction"], fw)
+    emit("failures.csv", FAILURE_COLUMNS, failure_table(failures))
     return written

@@ -18,6 +18,7 @@ import numpy as np
 from ..arch.cpu import CPUMetrics, CPUModel
 from ..arch.machine import SCALED_XEON, MachineConfig
 from ..bayes.munin import munin_like
+from ..core.errors import MetricsUnavailable
 from ..core.graph import PropertyGraph
 from ..core.taxonomy import ComputationType
 from ..core.trace import Tracer
@@ -159,7 +160,12 @@ def characterize(name: str, spec: GraphSpec, *,
                  with_gpu: bool = False,
                  cache_key: tuple | None = None) -> Row:
     """Full characterization of one workload on one dataset (memoized)."""
-    key = cache_key or (name, spec.name, spec.n, spec.m, machine.name,
+    # MachineConfig is a frozen dataclass: hashing the whole config (not
+    # just its name) keeps two differently-tuned machines with the same
+    # name from colliding; likewise spec.seed distinguishes same-sized
+    # datasets generated from different seeds.
+    key = cache_key or (name, spec.name, spec.n, spec.m, spec.seed,
+                        machine, device.name if with_gpu else None,
                         with_gpu)
     if key in _CACHE:
         return _CACHE[key]
@@ -177,10 +183,15 @@ def characterize(name: str, spec: GraphSpec, *,
 
 def gpu_speedup(row: Row, *, machine: MachineConfig = SCALED_XEON,
                 weights: np.ndarray | None = None) -> float:
-    """Fig. 12's metric: 16-core CPU in-core time / GPU kernel time."""
+    """Fig. 12's metric: 16-core CPU in-core time / GPU kernel time.
+
+    Raises :class:`~repro.core.errors.MetricsUnavailable` when the row
+    lacks either side; returns NaN for a degenerate (zero-time) GPU run so
+    it cannot be confused with a genuine zero speedup.
+    """
     if row.cpu is None or row.gpu is None:
-        raise ValueError(f"row {row.workload}/{row.dataset} lacks "
-                         "CPU or GPU metrics")
+        raise MetricsUnavailable(f"row {row.workload}/{row.dataset} lacks "
+                                 "CPU or GPU metrics")
     barriers = 0
     out = row.result.outputs if row.result else {}
     for k in ("depth", "rounds", "launches"):
@@ -191,7 +202,9 @@ def gpu_speedup(row: Row, *, machine: MachineConfig = SCALED_XEON,
                            weights=weights, barriers=barriers,
                            workload=row.workload)
     cpu_time = mc.time_seconds(machine.freq_ghz)
-    return cpu_time / row.gpu.exec_time if row.gpu.exec_time else 0.0
+    if not row.gpu.exec_time:
+        return float("nan")
+    return cpu_time / row.gpu.exec_time
 
 
 def default_dataset(scale: float = 1.0, seed: int = 0) -> GraphSpec:

@@ -1,0 +1,59 @@
+"""Fault-tolerant characterization: isolation, retries, checkpoint-resume.
+
+The characterization matrix (workload x dataset x machine) is a
+long-running batch sweep; this package keeps one hung traversal or
+allocator blow-up from losing it:
+
+* :mod:`~repro.resilience.cell` — the picklable unit of work and its
+  JSON checkpoint serialization
+* :mod:`~repro.resilience.executor` — worker-subprocess isolation with
+  wall-clock timeouts and typed crash containment
+* :mod:`~repro.resilience.retry` — bounded retries, exponential backoff,
+  deterministic seeded jitter
+* :mod:`~repro.resilience.checkpoint` — append-only JSON-lines journal
+  enabling ``--resume``
+* :mod:`~repro.resilience.chaos` — deterministic fault injection (hang /
+  crash / OOM / corrupt) proving every recovery path fires
+* :mod:`~repro.resilience.matrix` — the resilient sweep driver with
+  graceful degradation (failed cells become report entries, not aborts)
+"""
+
+from ..core.errors import (
+    CellCrash,
+    CellExecutionError,
+    CellOOM,
+    CellTimeout,
+    HarnessError,
+    MetricsUnavailable,
+    RetriesExhausted,
+)
+from .cell import (
+    MACHINES,
+    Cell,
+    RestoredMetrics,
+    RestoredResult,
+    record_to_row,
+    row_to_record,
+    run_cell,
+)
+from .chaos import FAULT_KINDS, ChaosSpec, Fault, FaultInjected
+from .checkpoint import CheckpointStore
+from .executor import (
+    ExecutorConfig,
+    run_cell_inline,
+    run_cell_once,
+    run_cell_resilient,
+)
+from .matrix import CellFailure, MatrixResult, matrix_cells, run_matrix
+from .retry import RetryPolicy, backoff_schedule, run_with_retries
+
+__all__ = [
+    "Cell", "CellCrash", "CellExecutionError", "CellFailure", "CellOOM",
+    "CellTimeout", "ChaosSpec", "CheckpointStore", "ExecutorConfig",
+    "FAULT_KINDS", "Fault", "FaultInjected", "HarnessError", "MACHINES",
+    "MatrixResult", "MetricsUnavailable", "RestoredMetrics",
+    "RestoredResult", "RetriesExhausted", "RetryPolicy",
+    "backoff_schedule", "matrix_cells", "record_to_row", "row_to_record",
+    "run_cell", "run_cell_inline", "run_cell_once", "run_cell_resilient",
+    "run_matrix", "run_with_retries",
+]

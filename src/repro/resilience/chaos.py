@@ -1,0 +1,126 @@
+"""Deterministic fault injection for the resilient matrix runner.
+
+A :class:`ChaosSpec` maps cells to faults — either pinned per cell id
+(``faults``) or drawn probabilistically from a seeded RNG (``p_fault``).
+Determinism is the point: a fault decision is a pure function of
+``(seed, cell_id, attempt)``, so a test (or a reproduced failure) sees the
+same hangs and crashes every run, and a *flaky* cell (fault fires on early
+attempts only) recovers on the exact attempt the spec says it will.
+
+Faults:
+
+``hang``     the worker sleeps forever — exercises the wall-clock timeout
+``crash``    the worker SIGKILLs itself — exercises crash containment
+``oom``      the worker raises MemoryError — exercises the OOM taxonomy
+``raise``    the worker raises RuntimeError — exercises exception capture
+``corrupt``  the worker completes but garbles its result payload mid-flight
+             — exercises payload validation (a torn/corrupted trace)
+
+The spec is plain-dict serializable so it crosses the subprocess boundary
+under any multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+FAULT_KINDS = ("hang", "crash", "oom", "raise", "corrupt")
+
+
+class FaultInjected(RuntimeError):
+    """Raised inside a worker by the ``raise`` fault kind."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure mode.
+
+    ``until_attempt`` makes a fault *flaky*: it fires while
+    ``attempt <= until_attempt`` and the cell succeeds afterwards
+    (0 means the fault is permanent).
+    """
+
+    kind: str
+    until_attempt: int = 0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"choose from {FAULT_KINDS}")
+
+    def active(self, attempt: int) -> bool:
+        return self.until_attempt == 0 or attempt <= self.until_attempt
+
+
+@dataclass
+class ChaosSpec:
+    """Injection plan: pinned faults per cell plus an optional random rate."""
+
+    faults: dict[str, Fault] = field(default_factory=dict)
+    p_fault: float = 0.0              # per-(cell, attempt) random fault rate
+    kinds: tuple[str, ...] = ("crash",)   # pool for random faults
+    seed: int = 0
+
+    def fault_for(self, cell_id: str, attempt: int) -> Fault | None:
+        """The fault (if any) that fires for this cell on this attempt.
+
+        Pure function of (spec, cell_id, attempt): pinned faults win;
+        otherwise a string-seeded RNG draws against ``p_fault``.
+        """
+        pinned = self.faults.get(cell_id)
+        if pinned is not None:
+            return pinned if pinned.active(attempt) else None
+        if self.p_fault > 0.0:
+            rng = random.Random(f"chaos:{self.seed}:{cell_id}:{attempt}")
+            if rng.random() < self.p_fault:
+                return Fault(self.kinds[rng.randrange(len(self.kinds))])
+        return None
+
+    # -- subprocess transport ----------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {"faults": {cid: {"kind": f.kind,
+                                 "until_attempt": f.until_attempt}
+                           for cid, f in self.faults.items()},
+                "p_fault": self.p_fault,
+                "kinds": list(self.kinds),
+                "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ChaosSpec":
+        return cls(faults={cid: Fault(**f)
+                           for cid, f in d.get("faults", {}).items()},
+                   p_fault=d.get("p_fault", 0.0),
+                   kinds=tuple(d.get("kinds", ("crash",))),
+                   seed=d.get("seed", 0))
+
+
+def inject_pre_run(fault: Fault | None, cell_id: str) -> None:
+    """Fire a pre-run fault inside the worker process.
+
+    ``corrupt`` is post-run by nature (the work completes, the payload is
+    torn) and is handled by the executor's child after the cell runs.
+    """
+    if fault is None or fault.kind == "corrupt":
+        return
+    if fault.kind == "hang":
+        while True:                        # parent kills us on timeout
+            time.sleep(3600)
+    if fault.kind == "crash":
+        import os
+        import signal
+        os.kill(os.getpid(), signal.SIGKILL)
+    if fault.kind == "oom":
+        raise MemoryError(f"chaos: simulated allocator OOM in {cell_id}")
+    if fault.kind == "raise":
+        raise FaultInjected(f"chaos: injected exception in {cell_id}")
+
+
+def corrupt_payload(fault: Fault | None, payload, cell_id: str):
+    """Post-run hook: tear the result payload if the fault says so."""
+    if fault is not None and fault.kind == "corrupt":
+        rng = random.Random(f"corrupt:{cell_id}")
+        return bytes(rng.randrange(256) for _ in range(64)).hex()
+    return payload

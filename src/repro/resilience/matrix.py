@@ -1,0 +1,145 @@
+"""Resilient matrix sweep: the full workload x dataset characterization
+with isolation, retries, checkpointing, and graceful degradation.
+
+The sweep walks its cells in deterministic order; each cell runs through
+the resilient executor.  Completed rows are journaled immediately; a cell
+whose retries are exhausted becomes a :class:`CellFailure` in the result
+(and a ``failure`` journal record) instead of aborting the sweep.  With
+``resume=True`` every cell whose latest journal record is a successful row
+is rehydrated from the checkpoint rather than re-executed — an interrupted
+(or chaos-mangled) run picks up exactly where it stopped, re-running only
+unfinished or failed cells.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.errors import CellExecutionError, RetriesExhausted
+from .cell import Cell, failure_record, record_to_row
+from .chaos import ChaosSpec
+from .checkpoint import CheckpointStore
+from .executor import ExecutorConfig, run_cell_resilient
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell that exhausted its attempts — reportable, not fatal."""
+
+    cell_id: str
+    workload: str
+    dataset: str
+    kind: str            # taxonomy tag of the *last* failure
+    message: str
+    attempts: int
+
+    @classmethod
+    def from_error(cls, cell: Cell, error: CellExecutionError,
+                   attempts: int) -> "CellFailure":
+        last = getattr(error, "last", error)
+        return cls(cell_id=cell.cell_id, workload=cell.workload,
+                   dataset=cell.dataset, kind=last.kind,
+                   message=last.message, attempts=attempts)
+
+    @classmethod
+    def from_record(cls, rec: dict) -> "CellFailure":
+        return cls(cell_id=rec["cell"], workload=rec["workload"],
+                   dataset=rec["dataset"], kind=rec["failure_kind"],
+                   message=rec["message"], attempts=rec["attempts"])
+
+
+@dataclass
+class MatrixResult:
+    """Outcome of a resilient sweep: every cell accounted for."""
+
+    rows: list = field(default_factory=list)
+    failures: list[CellFailure] = field(default_factory=list)
+    resumed: int = 0          # cells rehydrated from the checkpoint
+    executed: int = 0         # cells actually run this invocation
+
+    @property
+    def total_cells(self) -> int:
+        return len(self.rows) + len(self.failures)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+
+def _labelled(row, cell: Cell):
+    """Relabel a sweep row's dataset with the registry key, so success
+    rows and CellFailures (which only know the key) line up in one grid."""
+    row.extras.setdefault("dataset_name", row.dataset)
+    row.dataset = cell.dataset
+    return row
+
+
+def matrix_cells(workloads: Sequence[str], datasets: Sequence[str], *,
+                 scale: float = 1.0, seed: int = 0,
+                 machine: str = "scaled", with_gpu: bool = False,
+                 gpu_workloads: Sequence[str] = ()) -> list[Cell]:
+    """The deterministic cell ordering of a sweep (dataset-major, matching
+    the figure tables' row order)."""
+    return [Cell(workload=w, dataset=d, scale=scale, seed=seed,
+                 machine=machine,
+                 with_gpu=with_gpu and w in gpu_workloads)
+            for d in datasets for w in workloads]
+
+
+def run_matrix(cells: Sequence[Cell], *,
+               config: ExecutorConfig | None = None,
+               chaos: ChaosSpec | None = None,
+               checkpoint: CheckpointStore | None = None,
+               resume: bool = False,
+               sleep: Callable[[float], None] = time.sleep,
+               progress: Callable[[str], None] | None = None
+               ) -> MatrixResult:
+    """Run every cell resiliently; never lose the sweep to one cell.
+
+    ``resume`` requires a ``checkpoint``; without ``resume`` an existing
+    journal is restarted from scratch.  ``progress`` (if given) receives a
+    one-line status per cell.
+    """
+    config = config or ExecutorConfig()
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint store")
+    done: dict[str, dict] = {}
+    if checkpoint is not None:
+        if resume:
+            done = checkpoint.load()
+        else:
+            checkpoint.clear()
+
+    result = MatrixResult()
+    for cell in cells:
+        prior = done.get(cell.cell_id)
+        if prior is not None and prior.get("kind") == "row":
+            result.rows.append(_labelled(record_to_row(prior), cell))
+            result.resumed += 1
+            if progress:
+                progress(f"{cell.cell_id}: resumed from checkpoint")
+            continue
+        try:
+            record, attempts = run_cell_resilient(
+                cell, config=config, chaos=chaos, sleep=sleep)
+        except (RetriesExhausted, CellExecutionError) as e:
+            attempts = getattr(e, "attempts", 1)
+            failure = CellFailure.from_error(cell, e, attempts)
+            result.failures.append(failure)
+            result.executed += 1
+            if checkpoint is not None:
+                checkpoint.append(failure_record(cell, e, attempts=attempts))
+            if progress:
+                progress(f"{cell.cell_id}: FAILED ({failure.kind}) "
+                         f"after {attempts} attempt(s)")
+            continue
+        result.rows.append(_labelled(record_to_row(record), cell))
+        result.executed += 1
+        if checkpoint is not None:
+            checkpoint.append(record)
+        if progress:
+            progress(f"{cell.cell_id}: ok ({attempts} attempt(s), "
+                     f"{record.get('elapsed_s') or 0:.2f}s)")
+    return result

@@ -24,6 +24,26 @@ class TestParser:
         assert args.scale == 0.1
         assert args.seed == 3
 
+    def test_matrix_defaults(self):
+        args = build_parser().parse_args(["matrix"])
+        assert args.timeout == 300.0
+        assert args.retries == 2
+        assert args.resume is False
+        assert args.checkpoint is None
+        assert args.isolation == "process"
+
+    def test_matrix_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["matrix", "--workloads", "BFS,DFS", "--datasets", "ldbc",
+             "--timeout", "60", "--retries", "5", "--resume",
+             "--checkpoint", "cp.jsonl", "--chaos-rate", "0.3"])
+        assert args.workloads == "BFS,DFS"
+        assert args.timeout == 60.0
+        assert args.retries == 5
+        assert args.resume is True
+        assert args.checkpoint == "cp.jsonl"
+        assert args.chaos_rate == 0.3
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -63,3 +83,21 @@ class TestCommands:
 
     def test_gpu_without_kernel(self, capsys):
         assert main(["gpu", "DFS", "--scale", "0.05"]) == 2
+
+    def test_matrix_resume_requires_checkpoint(self, capsys):
+        assert main(["matrix", "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_matrix_inline_sweep_and_resume(self, capsys, tmp_path):
+        cp = str(tmp_path / "sweep.jsonl")
+        out = str(tmp_path / "csv")
+        base = ["matrix", "--workloads", "BFS,DCentr",
+                "--datasets", "ldbc", "--scale", "0.03",
+                "--machine", "test", "--isolation", "inline",
+                "--retries", "0", "--checkpoint", cp]
+        assert main(base + ["--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "completed 2/2 cells" in text
+        assert "failures.csv" not in text        # clean sweep: no failures
+        assert main(base + ["--resume"]) == 0
+        assert "2 resumed, 0 executed" in capsys.readouterr().out
