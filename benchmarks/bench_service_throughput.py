@@ -1,0 +1,147 @@
+"""Service throughput: micro-batching + result caching vs. cold recompute.
+
+The serving claim behind `repro.service`: duplicate-heavy traffic (the
+industrial regime GraphBIG's System G framing implies — many users, few
+distinct heavy queries) is answered from the coalescing and cache tiers
+at a multiple of the cache-off baseline's throughput, and a chaos-killed
+worker mid-run fails only its own requests while concurrent traffic
+proceeds.
+
+Measured: a closed-loop load generator drives 200 requests over a small
+workload mix against a live in-process server twice — once with caching
+and micro-batching enabled, once with both disabled (every request
+recomputes).  Workers run ``inline`` so the contrast isolates the serving
+tiers rather than subprocess spawn cost.  Results land in
+``BENCH_service.json``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+try:
+    from benchmarks.conftest import show
+except ModuleNotFoundError:      # standalone: repo root not on sys.path
+    def show(text: str) -> None:
+        print("\n" + text)
+from repro.harness import format_table
+from repro.resilience import Cell, ChaosSpec, Fault
+from repro.service import (
+    CacheTiers,
+    GraphService,
+    LoadGenerator,
+    PoolConfig,
+    SchedulerConfig,
+    ServiceThread,
+    schedule,
+    workload_mix,
+)
+
+REQUESTS = 200
+CONCURRENCY = 16
+WORKERS = 8
+SCALE = 0.05
+SEED = 0
+MIX_WORKLOADS = ("BFS", "CComp", "kCore")
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _service(enabled: bool, chaos: ChaosSpec | None = None) -> GraphService:
+    return GraphService(
+        pool_config=PoolConfig(size=WORKERS, isolation="inline"),
+        scheduler_config=SchedulerConfig(batching=enabled,
+                                         caching=enabled),
+        caches=CacheTiers.build() if enabled else CacheTiers.disabled(),
+        chaos=chaos)
+
+
+def _drive(service: GraphService, plan):
+    with ServiceThread(service) as st:
+        report = LoadGenerator(st.host, st.port,
+                               concurrency=CONCURRENCY).run(plan)
+        stats = service.stats()
+    return report, stats
+
+
+def run_service_benchmark() -> dict:
+    mix = workload_mix(MIX_WORKLOADS, ("ldbc",), scale=SCALE,
+                       machine="test")
+    plan = schedule(mix, REQUESTS, seed=SEED)
+
+    on_report, on_stats = _drive(_service(enabled=True), plan)
+    off_report, off_stats = _drive(_service(enabled=False), plan)
+    speedup = (on_report.throughput_rps / off_report.throughput_rps
+               if off_report.throughput_rps else float("inf"))
+
+    # chaos containment: pin a crash fault on one cell of the mix and
+    # re-drive — exactly that cell's requests fail, typed, on the wire
+    doomed = Cell(workload="kCore", dataset="ldbc", scale=SCALE,
+                  seed=0, machine="test")
+    chaos = ChaosSpec(faults={doomed.cell_id: Fault("crash")})
+    doomed_count = sum(1 for q in plan
+                       if q.params["workload"] == "kCore")
+    chaos_report, _ = _drive(_service(enabled=True, chaos=chaos), plan)
+
+    return {
+        "config": {"requests": REQUESTS, "concurrency": CONCURRENCY,
+                   "workers": WORKERS, "scale": SCALE, "seed": SEED,
+                   "mix": list(MIX_WORKLOADS), "isolation": "inline",
+                   "machine": "test"},
+        "cache_on": on_report.summary(),
+        "cache_off": off_report.summary(),
+        "speedup": round(speedup, 3),
+        "scheduler_on": on_stats["scheduler"],
+        "scheduler_off": off_stats["scheduler"],
+        "chaos": {"requests": chaos_report.requests,
+                  "doomed_requests": doomed_count,
+                  "failed": chaos_report.failed,
+                  "ok": chaos_report.ok,
+                  "failures_by_kind": dict(chaos_report.failures_by_kind),
+                  "contained": (chaos_report.failed == doomed_count
+                                and chaos_report.ok
+                                == REQUESTS - doomed_count)},
+    }
+
+
+def _render(results: dict) -> str:
+    rows = []
+    for label in ("cache_on", "cache_off"):
+        s = results[label]
+        lat = s["latency_ms"]
+        rows.append([label.replace("_", " "), s["ok"], s["failed"],
+                     s["throughput_rps"], lat["p50"], lat["p95"],
+                     lat["p99"]])
+    return format_table(
+        ["mode", "ok", "failed", "rps", "p50_ms", "p95_ms", "p99_ms"],
+        rows, title="service throughput — caching+batching on vs off")
+
+
+def test_service_throughput_and_chaos_containment():
+    results = run_service_benchmark()
+    OUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))
+    show(_render(results)
+         + f"\nspeedup: {results['speedup']:.1f}x "
+         f"(acceptance floor: 5x)\nchaos: {results['chaos']}")
+
+    assert results["cache_on"]["failed"] == 0
+    assert results["cache_off"]["failed"] == 0
+    # duplicate-heavy traffic: only the distinct queries execute
+    assert results["scheduler_on"]["executed"] == len(MIX_WORKLOADS)
+    assert results["speedup"] >= 5.0
+    assert results["chaos"]["contained"]
+    kinds = set(results["chaos"]["failures_by_kind"])
+    assert kinds <= {"crash", "retries-exhausted"}
+
+
+if __name__ == "__main__":
+    results = run_service_benchmark()
+    OUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))
+    print(_render(results))
+    print(f"speedup: {results['speedup']:.1f}x")
+    print(f"chaos containment: {results['chaos']}")
+    print(f"wrote {OUT_PATH}")

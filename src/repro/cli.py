@@ -3,7 +3,7 @@ workloads without writing Python.
 
 Examples::
 
-    python -m repro list
+    python -m repro list --json
     python -m repro run BFS --dataset ldbc --scale 0.25
     python -m repro characterize TC --dataset twitter --scale 0.1
     python -m repro gpu CComp --dataset roadnet --scale 0.25
@@ -11,11 +11,15 @@ Examples::
     python -m repro matrix --scale 0.05 --timeout 120 --retries 2 \\
         --checkpoint sweep.jsonl --out results/
     python -m repro matrix --scale 0.05 --resume --checkpoint sweep.jsonl
+    python -m repro serve --port 7421 --workers 4
+    python -m repro query run BFS --dataset ldbc --scale 0.1
+    python -m repro loadgen --requests 200 --concurrency 16
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -25,6 +29,10 @@ def _spec(args):
 
 
 def cmd_list(args) -> int:
+    from .service.server import workloads_payload
+    if getattr(args, "json", False):
+        print(json.dumps(workloads_payload(), indent=2))
+        return 0
     from .workloads import table4
     print(f"{'workload':8s} {'category':26s} {'ctype':11s} {'gpu':4s} "
           "algorithm")
@@ -36,6 +44,10 @@ def cmd_list(args) -> int:
 
 
 def cmd_datasets(args) -> int:
+    from .service.server import datasets_payload
+    if getattr(args, "json", False):
+        print(json.dumps(datasets_payload(), indent=2))
+        return 0
     from .datagen.registry import REGISTRY
     print(f"{'key':10s} {'name':26s} {'source':12s} "
           f"{'paper V/E':>24s} {'default V':>10s}")
@@ -158,15 +170,146 @@ def cmd_matrix(args) -> int:
     return 0 if result.complete else 1
 
 
+def _build_service(args):
+    """Construct a GraphService from serve/loadgen-style args."""
+    from .resilience import ChaosSpec
+    from .service import (
+        CacheTiers,
+        GraphService,
+        PoolConfig,
+        SchedulerConfig,
+    )
+    caching = not args.no_cache
+    caches = (CacheTiers.build(row_capacity=args.cache_size,
+                               ttl_s=args.cache_ttl)
+              if caching else CacheTiers.disabled())
+    chaos = (ChaosSpec(p_fault=args.chaos_rate, seed=args.chaos_seed,
+                       kinds=("crash", "oom"))
+             if args.chaos_rate > 0 else None)
+    return GraphService(
+        pool_config=PoolConfig(size=args.workers,
+                               isolation=args.isolation,
+                               timeout_s=args.timeout,
+                               retries=args.retries),
+        scheduler_config=SchedulerConfig(max_pending=args.max_pending,
+                                         batching=not args.no_batch,
+                                         batch_window_s=args.batch_window,
+                                         caching=caching),
+        caches=caches, chaos=chaos)
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    service = _build_service(args)
+
+    async def _serve() -> None:
+        port = await service.start(args.host, args.port)
+        print(f"repro service listening on {args.host}:{port} "
+              f"({args.workers} workers, {args.isolation} isolation, "
+              f"cache {'off' if args.no_cache else 'on'}, "
+              f"batching {'off' if args.no_batch else 'on'})")
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def cmd_query(args) -> int:
+    from .core.errors import ServiceError
+    from .service import ServiceClient
+
+    params = {}
+    if args.op in ("run", "characterize"):
+        if not args.workload:
+            print(f"error: op {args.op!r} requires a workload",
+                  file=sys.stderr)
+            return 2
+        params = {"workload": args.workload, "dataset": args.dataset,
+                  "scale": args.scale, "seed": args.seed,
+                  "machine": args.machine, "gpu": args.gpu}
+    try:
+        with ServiceClient(args.host, args.port,
+                           timeout_s=args.timeout) as client:
+            result = client.request(args.op, **params)
+    except ConnectionRefusedError:
+        print(f"error: no service at {args.host}:{args.port} "
+              "(start one with `python -m repro serve`)", file=sys.stderr)
+        return 2
+    except ServiceError as e:
+        print(json.dumps({"kind": getattr(e, "kind", "service"),
+                          "message": getattr(e, "message", str(e))}),
+              file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    from .service import LoadGenerator, ServiceThread, schedule, workload_mix
+
+    mix = workload_mix(tuple(args.workloads.split(",")),
+                       tuple(args.datasets.split(",")),
+                       scale=args.scale, seeds=args.seeds, op=args.op)
+    plan = schedule(mix, args.requests, seed=args.seed)
+    gen_args = dict(concurrency=args.concurrency, timeout_s=args.timeout)
+    if not args.json:
+        print(f"loadgen: {args.requests} requests over {len(mix)} "
+              f"distinct queries, {args.concurrency} closed-loop workers")
+    if args.spawn:
+        service = _build_service(args)
+        with ServiceThread(service) as st:
+            report = LoadGenerator(st.host, st.port, **gen_args).run(plan)
+            stats = service.stats()
+    else:
+        try:
+            report = LoadGenerator(args.host, args.port,
+                                   **gen_args).run(plan)
+        except ConnectionRefusedError:
+            print(f"error: no service at {args.host}:{args.port} "
+                  "(start one, or pass --spawn)", file=sys.stderr)
+            return 2
+        stats = None
+    if args.json:
+        payload = report.summary()
+        if stats is not None:
+            payload["server_stats"] = stats
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.format())
+        if stats is not None:
+            print(f"server       scheduler={stats['scheduler']}")
+    return 0 if report.failed == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+    from .service.protocol import PROTOCOL_VERSION
+
     p = argparse.ArgumentParser(
         prog="repro",
         description="GraphBIG reproduction: run and characterize "
                     "graph-computing workloads")
+    p.add_argument("--version", action="version",
+                   version=f"repro {__version__} "
+                           f"(protocol {PROTOCOL_VERSION})")
     sub = p.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the 13 workloads (Table 4)")
-    sub.add_parser("datasets", help="list the dataset registry (Table 5)")
+    lst = sub.add_parser("list", help="list the 13 workloads (Table 4)")
+    lst.add_argument("--json", action="store_true",
+                     help="machine-readable output")
+    ds = sub.add_parser("datasets",
+                        help="list the dataset registry (Table 5)")
+    ds.add_argument("--json", action="store_true",
+                    help="machine-readable output")
 
     def add_common(sp):
         sp.add_argument("workload", help="workload name, e.g. BFS")
@@ -224,6 +367,94 @@ def build_parser() -> argparse.ArgumentParser:
                         "cell attempt (testing the harness itself)")
     m.add_argument("--chaos-seed", type=int, default=0,
                    help="seed for the chaos RNG (default: 0)")
+
+    def add_service_knobs(sp):
+        sp.add_argument("--workers", type=int, default=4,
+                        help="concurrent execution slots (default: 4)")
+        sp.add_argument("--isolation", default="process",
+                        choices=("process", "inline"),
+                        help="worker isolation; 'inline' skips "
+                             "subprocesses (default: process)")
+        sp.add_argument("--timeout", type=float, default=300.0,
+                        help="per-request execution timeout in seconds "
+                             "(default: 300)")
+        sp.add_argument("--retries", type=int, default=0,
+                        help="server-side retries per failing request "
+                             "(default: 0 — clients decide)")
+        sp.add_argument("--cache-size", type=int, default=1024,
+                        help="row-cache capacity (default: 1024)")
+        sp.add_argument("--cache-ttl", type=float, default=None,
+                        help="row-cache TTL in seconds (default: no "
+                             "expiry)")
+        sp.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache tiers")
+        sp.add_argument("--no-batch", action="store_true",
+                        help="disable micro-batch coalescing")
+        sp.add_argument("--max-pending", type=int, default=64,
+                        help="admission limit on queued+running "
+                             "executions (default: 64)")
+        sp.add_argument("--batch-window", type=float, default=0.0,
+                        help="seconds to hold a fresh execution for "
+                             "duplicate pile-on (default: 0)")
+        sp.add_argument("--chaos-rate", type=float, default=0.0,
+                        help="deterministic worker fault-injection "
+                             "probability (testing)")
+        sp.add_argument("--chaos-seed", type=int, default=0)
+
+    sv = sub.add_parser(
+        "serve",
+        help="long-lived graph-query service: micro-batching, result "
+             "caching, isolated workers")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=7421,
+                    help="TCP port (default: 7421; 0 picks a free one)")
+    add_service_knobs(sv)
+
+    q = sub.add_parser("query",
+                       help="send one request to a running service, "
+                            "print the JSON result")
+    q.add_argument("op", choices=("ping", "run", "characterize",
+                                  "datasets", "workloads", "stats"))
+    q.add_argument("workload", nargs="?", default=None,
+                   help="workload name (run/characterize only)")
+    q.add_argument("--dataset", default="ldbc")
+    q.add_argument("--scale", type=float, default=0.25)
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--machine", default="scaled",
+                   choices=("scaled", "test", "paper"))
+    q.add_argument("--gpu", action="store_true")
+    q.add_argument("--host", default="127.0.0.1")
+    q.add_argument("--port", type=int, default=7421)
+    q.add_argument("--timeout", type=float, default=300.0)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="closed-loop load generator: throughput + p50/p95/p99 "
+             "latency against a live service")
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, default=7421)
+    lg.add_argument("--spawn", action="store_true",
+                    help="spin up an in-process service for the run "
+                         "(uses the serve knobs below)")
+    lg.add_argument("--requests", type=int, default=200,
+                    help="total requests to issue (default: 200)")
+    lg.add_argument("--concurrency", type=int, default=16,
+                    help="closed-loop workers (default: 16)")
+    lg.add_argument("--workloads", default="BFS,CComp,kCore",
+                    help="comma-separated workload mix")
+    lg.add_argument("--datasets", default="ldbc",
+                    help="comma-separated dataset mix")
+    lg.add_argument("--scale", type=float, default=0.05)
+    lg.add_argument("--seeds", type=int, default=1,
+                    help="distinct seeds per combo — widens the query "
+                         "pool, thins duplicates (default: 1)")
+    lg.add_argument("--seed", type=int, default=0,
+                    help="schedule RNG seed (default: 0)")
+    lg.add_argument("--op", default="run",
+                    choices=("run", "characterize"))
+    lg.add_argument("--json", action="store_true",
+                    help="machine-readable report")
+    add_service_knobs(lg)
     return p
 
 
@@ -231,7 +462,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"list": cmd_list, "datasets": cmd_datasets, "run": cmd_run,
                "characterize": cmd_characterize, "gpu": cmd_gpu,
-               "matrix": cmd_matrix}
+               "matrix": cmd_matrix, "serve": cmd_serve,
+               "query": cmd_query, "loadgen": cmd_loadgen}
     try:
         return handler[args.command](args)
     except KeyError as e:   # unknown workload/dataset names

@@ -128,3 +128,62 @@ class RetriesExhausted(CellExecutionError):
                          f"last: {last.kind}: {last.message}")
         self.attempts = attempts
         self.last = last
+
+
+# -- service taxonomy --------------------------------------------------------
+#
+# The query service (repro.service) ships failures across a socket as typed
+# payloads; ``kind`` is the stable machine-readable tag on the wire, shared
+# with the cell taxonomy above so a crashed worker looks the same to a
+# remote client as to the batch matrix runner.
+
+class ServiceError(GraphError):
+    """Base class for graph-query-service failures."""
+
+    kind = "service"
+
+
+class ProtocolError(ServiceError, ValueError):
+    """A wire frame could not be decoded or violated the protocol
+    (garbage bytes, truncated frame, bad version, malformed request)."""
+
+    kind = "protocol"
+
+
+class BadRequest(ServiceError, ValueError):
+    """A well-framed request asked for something that cannot exist
+    (unknown operation, unknown workload or dataset, invalid params)."""
+
+    kind = "bad-request"
+
+
+class AdmissionRejected(ServiceError):
+    """The server's bounded request queue is full — backpressure.
+
+    Clients should treat this as retryable after a delay; the server
+    sheds load instead of queueing without bound.
+    """
+
+    kind = "admission-rejected"
+
+    def __init__(self, pending: int, limit: int):
+        super().__init__(f"request queue full ({pending}/{limit} pending); "
+                         "retry later")
+        self.pending = pending
+        self.limit = limit
+
+
+class RemoteError(ServiceError):
+    """Client-side image of a failure the server shipped over the wire.
+
+    ``kind`` is the server-reported taxonomy tag (``crash``, ``timeout``,
+    ``oom``, ``retries-exhausted``, ``bad-request`` ...), preserved so
+    callers can dispatch on it exactly as server-side code dispatches on
+    the original exception classes.
+    """
+
+    def __init__(self, kind: str, message: str, remote_type: str = ""):
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+        self.message = message
+        self.remote_type = remote_type

@@ -24,6 +24,7 @@ from .runner import (
     DATA_SENSITIVE_WORKLOADS,
     GPU_WORKLOAD_SET,
     Row,
+    cache_stats,
     characterize,
     clear_cache,
     default_dataset,
@@ -37,7 +38,8 @@ __all__ = [
     "FAILURE_COLUMNS", "FIG8_METRICS", "GPU_WORKLOAD_SET",
     "PAPER_AVG_FRAMEWORK_FRACTION",
     "Row", "average_fraction", "bar", "breakdown_table", "by_ctype",
-    "characterize", "clear_cache", "cpu_table", "default_dataset",
+    "cache_stats", "characterize", "clear_cache", "cpu_table",
+    "default_dataset",
     "export_all", "failure_table",
     "fig8_table", "format_table", "framework_fractions", "gpu_speedup",
     "gpu_table", "matrix_table", "paper_note", "pivot",

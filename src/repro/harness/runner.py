@@ -27,6 +27,7 @@ from ..datagen.spec import GraphSpec
 from ..gpu.device import K40, DeviceConfig, GPUMetrics
 from ..gpu.runner import run_gpu_workload
 from ..parallel.multicore import project_multicore
+from ..service.cache import LRUCache
 from ..workloads import WORKLOADS, build_bn_graph
 from ..workloads.base import (
     WorkloadResult,
@@ -63,12 +64,21 @@ class Row:
     extras: dict[str, Any] = field(default_factory=dict)
 
 
-_CACHE: dict[tuple, Row] = {}
+# Bounded LRU memo shared in implementation with the service's row tier
+# (repro.service.cache): a full 13-workload x 5-dataset sweep with GPU
+# variants fits with ample headroom, and a long-lived process (notebook,
+# server) can no longer grow the memo without bound.
+_CACHE = LRUCache(capacity=512)
 
 
 def clear_cache() -> None:
     """Drop memoized characterization rows (for tests)."""
     _CACHE.clear()
+
+
+def cache_stats() -> dict[str, float]:
+    """Hit/miss/eviction counters of the characterization memo."""
+    return _CACHE.stats.as_dict()
 
 
 def _build_graph(spec: GraphSpec, tracer=None) -> PropertyGraph:
@@ -158,8 +168,13 @@ def characterize(name: str, spec: GraphSpec, *,
                  machine: MachineConfig = SCALED_XEON,
                  device: DeviceConfig = K40,
                  with_gpu: bool = False,
-                 cache_key: tuple | None = None) -> Row:
-    """Full characterization of one workload on one dataset (memoized)."""
+                 cache_key: tuple | None = None,
+                 memo: bool = True) -> Row:
+    """Full characterization of one workload on one dataset (memoized).
+
+    ``memo=False`` bypasses the memo entirely (no lookup, no fill) —
+    the service's cache-off baseline measures true recompute cost.
+    """
     # MachineConfig is a frozen dataclass: hashing the whole config (not
     # just its name) keeps two differently-tuned machines with the same
     # name from colliding; likewise spec.seed distinguishes same-sized
@@ -167,8 +182,10 @@ def characterize(name: str, spec: GraphSpec, *,
     key = cache_key or (name, spec.name, spec.n, spec.m, spec.seed,
                         machine, device.name if with_gpu else None,
                         with_gpu)
-    if key in _CACHE:
-        return _CACHE[key]
+    if memo:
+        row = _CACHE.get(key)
+        if row is not None:
+            return row
     result, cpu = run_cpu_workload(name, spec, machine=machine)
     row = Row(workload=name, dataset=spec.name,
               ctype=WORKLOADS[name].CTYPE, cpu=cpu, result=result)
@@ -177,7 +194,8 @@ def characterize(name: str, spec: GraphSpec, *,
                                         **_gpu_params(name, spec))
         row.gpu = gpu
         row.extras["gpu_outputs_keys"] = sorted(outputs)
-    _CACHE[key] = row
+    if memo:
+        _CACHE.put(key, row)
     return row
 
 

@@ -33,7 +33,8 @@ MACHINES: dict[str, MachineConfig] = {
 #: Workload outputs worth journaling: scalar shape descriptors that the
 #: multicore projection (gpu_speedup barriers) and reports consume.
 _SCALAR_OUTPUT_KEYS = ("depth", "rounds", "launches", "iterations",
-                      "n_colors", "n_components", "triangles", "max_core")
+                      "n_colors", "n_components", "triangles", "max_core",
+                      "visited")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,170 @@
+"""Bounded LRU+TTL caching — the service's result tiers and the batch
+harness's characterization memo, one implementation.
+
+A :class:`LRUCache` is a thread-safe bounded mapping with least-recently-
+used eviction and an optional per-entry time-to-live.  The clock is
+injectable so eviction order and expiry are unit-testable without
+sleeping.  :class:`CacheTiers` bundles the service's two tiers — generated
+:class:`~repro.datagen.spec.GraphSpec` datasets and characterization row
+records — behind one stats surface.
+
+Keys follow the PR-1 memo discipline: a row's identity is
+``(workload, dataset, scale, seed, machine, gpu)`` — exactly a
+:class:`~repro.resilience.cell.Cell`'s ``cell_id`` — and a dataset's is
+``(dataset, scale, seed)``; two requests that differ in any identity
+component never collide.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+
+@dataclass
+class CacheStats:
+    """Counters over a cache's lifetime (monotonic, never reset by
+    eviction)."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0          # capacity pressure
+    expirations: int = 0        # TTL lapses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "inserts": self.inserts, "evictions": self.evictions,
+                "expirations": self.expirations,
+                "hit_rate": round(self.hit_rate, 6)}
+
+
+class LRUCache:
+    """Bounded LRU mapping with optional TTL.
+
+    ``capacity=0`` disables storage entirely (every ``get`` misses) —
+    the cache-off baseline is the same object with a different knob, not
+    a different code path.  ``ttl_s=None`` means entries never expire.
+    """
+
+    def __init__(self, capacity: int = 128, ttl_s: float | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (or None)")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._data: dict[Hashable, tuple[Any, float | None]] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Non-promoting, non-counting presence check (expiry-aware)."""
+        with self._lock:
+            entry = self._data.get(key)
+            return entry is not None and not self._expired(entry)
+
+    def _expired(self, entry: tuple[Any, float | None]) -> bool:
+        deadline = entry[1]
+        return deadline is not None and self._clock() >= deadline
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return default
+            if self._expired(entry):
+                del self._data[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return default
+            # promote: dicts preserve insertion order; re-inserting moves
+            # the key to the MRU end
+            del self._data[key]
+            self._data[key] = entry
+            self.stats.hits += 1
+            return entry[0]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        deadline = (self._clock() + self.ttl_s
+                    if self.ttl_s is not None else None)
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+            self._data[key] = (value, deadline)
+            self.stats.inserts += 1
+            while len(self._data) > self.capacity:
+                lru = next(iter(self._data))
+                del self._data[lru]
+                self.stats.evictions += 1
+
+    def keys(self) -> list[Hashable]:
+        """Current keys, LRU first (expired entries included until read)."""
+        with self._lock:
+            return list(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+# -- key builders ------------------------------------------------------------
+
+def dataset_key(dataset: str, scale: float, seed: int) -> tuple:
+    """Identity of a generated dataset in the spec tier."""
+    return ("dataset", dataset, float(scale), int(seed))
+
+
+def row_key(cell) -> str:
+    """Identity of a characterization row record — the cell id itself."""
+    return cell.cell_id
+
+
+@dataclass
+class CacheTiers:
+    """The service's two result tiers behind one stats surface.
+
+    Datasets are heavier to generate than to keep (an edge array), so the
+    spec tier is small; row records are tiny JSON dicts, so the row tier
+    is wide.  Both share the TTL so a long-lived server re-validates its
+    world periodically.
+    """
+
+    datasets: LRUCache = field(default_factory=lambda: LRUCache(32))
+    rows: LRUCache = field(default_factory=lambda: LRUCache(1024))
+
+    @classmethod
+    def build(cls, *, dataset_capacity: int = 32, row_capacity: int = 1024,
+              ttl_s: float | None = None,
+              clock: Callable[[], float] = time.monotonic) -> "CacheTiers":
+        return cls(datasets=LRUCache(dataset_capacity, ttl_s, clock),
+                   rows=LRUCache(row_capacity, ttl_s, clock))
+
+    @classmethod
+    def disabled(cls) -> "CacheTiers":
+        """Cache-off baseline: every lookup misses, nothing is stored."""
+        return cls(datasets=LRUCache(0), rows=LRUCache(0))
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        return {"datasets": self.datasets.stats.as_dict(),
+                "rows": self.rows.stats.as_dict()}
+
+    def clear(self) -> None:
+        self.datasets.clear()
+        self.rows.clear()

@@ -1,0 +1,120 @@
+"""Blocking client for the graph-query service.
+
+One TCP connection, synchronous request/response over the JSON-lines
+protocol.  Server-side failures come back as raised exceptions carrying
+the wire taxonomy: :class:`~repro.core.errors.AdmissionRejected` for
+backpressure, :class:`~repro.core.errors.ProtocolError` for framing
+violations, :class:`~repro.core.errors.RemoteError` (with ``kind``
+preserved — ``crash``, ``timeout``, ``bad-request`` ...) for everything
+else.  A client is single-threaded by design; the load generator opens
+one per worker.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from ..core.errors import ProtocolError
+from .protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_request,
+    payload_to_error,
+)
+
+DEFAULT_PORT = 7421
+
+
+class ServiceClient:
+    """Synchronous connection to a :class:`~repro.service.server.GraphService`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 *, timeout_s: float | None = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._seq = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s)
+            self._rfile = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            self._rfile.close()
+            self._rfile = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request/response ----------------------------------------------------
+
+    def request(self, op: str, **params: Any) -> Any:
+        """Send one request, block for its response, return the result.
+
+        Raises the rehydrated typed error if the server answered with a
+        failure frame, or :class:`ProtocolError` if the connection died
+        or the response could not be decoded.
+        """
+        self.connect()
+        self._seq += 1
+        req_id = f"c{self._seq}"
+        self._sock.sendall(encode_request(op, req_id, params))
+        line = self._rfile.readline(MAX_FRAME_BYTES + 1)
+        if not line:
+            raise ProtocolError("connection closed before response")
+        if not line.endswith(b"\n"):
+            raise ProtocolError("truncated response frame")
+        frame = decode_frame(line)
+        if frame.get("id") not in (req_id, None):
+            raise ProtocolError(f"response id {frame.get('id')!r} does not "
+                                f"match request id {req_id!r}")
+        if frame.get("ok"):
+            return frame.get("result")
+        error = frame.get("error")
+        if not isinstance(error, dict):
+            raise ProtocolError(f"malformed failure frame: {frame!r}")
+        raise payload_to_error(error)
+
+    # -- convenience ---------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def workloads(self) -> list[dict[str, Any]]:
+        return self.request("workloads")
+
+    def datasets(self) -> list[dict[str, Any]]:
+        return self.request("datasets")
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")
+
+    def run(self, workload: str, dataset: str = "ldbc", *,
+            scale: float = 0.25, seed: int = 0, machine: str = "scaled",
+            gpu: bool = False) -> dict[str, Any]:
+        return self.request("run", workload=workload, dataset=dataset,
+                            scale=scale, seed=seed, machine=machine,
+                            gpu=gpu)
+
+    def characterize(self, workload: str, dataset: str = "ldbc", *,
+                     scale: float = 0.25, seed: int = 0,
+                     machine: str = "scaled",
+                     gpu: bool = False) -> dict[str, Any]:
+        return self.request("characterize", workload=workload,
+                            dataset=dataset, scale=scale, seed=seed,
+                            machine=machine, gpu=gpu)

@@ -1,0 +1,179 @@
+"""Closed-loop load generator: throughput and latency percentiles.
+
+Drives a live service with ``concurrency`` workers, each owning one
+connection and issuing its next request only after the previous response
+arrives (closed-loop — offered load adapts to service capacity, so the
+measured throughput is the service's, not the generator's).  The request
+schedule is a deterministic function of the seed: a seeded RNG draws from
+the query mix, so a duplicate-heavy mix (few distinct queries, many
+requests) exercises the coalescing and cache tiers reproducibly.
+
+Latency percentiles use the nearest-rank definition: ``p(q)`` is the
+smallest observed latency such that at least ``q`` percent of samples are
+at or below it — an actual observation, never an interpolated value.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..core.errors import GraphError
+from .client import ServiceClient
+
+
+@dataclass(frozen=True)
+class Query:
+    """One request template in the mix."""
+
+    op: str                              # "run" | "characterize"
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+def workload_mix(workloads: Sequence[str] = ("BFS", "CComp", "kCore"),
+                 datasets: Sequence[str] = ("ldbc",), *,
+                 scale: float = 0.05, seeds: int = 1,
+                 op: str = "run", machine: str = "scaled") -> list[Query]:
+    """The distinct-query pool: every workload x dataset x seed combo.
+
+    A small pool under many requests is the duplicate-heavy regime the
+    cache and micro-batching tiers are built for; raise ``seeds`` to
+    widen the pool and thin the duplicates.
+    """
+    return [Query(op=op, params={"workload": w, "dataset": d,
+                                 "scale": scale, "seed": s,
+                                 "machine": machine})
+            for w in workloads for d in datasets for s in range(seeds)]
+
+
+def schedule(mix: Sequence[Query], n_requests: int,
+             seed: int = 0) -> list[Query]:
+    """Deterministic request sequence: seeded uniform draws from the mix."""
+    if not mix:
+        raise ValueError("query mix is empty")
+    rng = random.Random(f"loadgen:{seed}")
+    return [mix[rng.randrange(len(mix))] for _ in range(n_requests)]
+
+
+def percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted sample list."""
+    if not sorted_samples:
+        return float("nan")
+    if not 0 < q <= 100:
+        raise ValueError("q must be in (0, 100]")
+    rank = max(1, -(-len(sorted_samples) * q // 100))   # ceil
+    return sorted_samples[int(rank) - 1]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one closed-loop run."""
+
+    requests: int
+    ok: int
+    failed: int
+    failures_by_kind: dict[str, int]
+    elapsed_s: float
+    latencies_ms: list[float]            # successful requests, sorted
+    served: dict[str, int]               # cache / coalesced / executed
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_ms(self, q: float) -> float:
+        return percentile(self.latencies_ms, q)
+
+    def summary(self) -> dict[str, Any]:
+        lat = self.latencies_ms
+        return {"requests": self.requests, "ok": self.ok,
+                "failed": self.failed,
+                "failures_by_kind": dict(self.failures_by_kind),
+                "elapsed_s": round(self.elapsed_s, 6),
+                "throughput_rps": round(self.throughput_rps, 3),
+                "latency_ms": {
+                    "mean": round(sum(lat) / len(lat), 3) if lat else None,
+                    "p50": round(self.latency_ms(50), 3) if lat else None,
+                    "p95": round(self.latency_ms(95), 3) if lat else None,
+                    "p99": round(self.latency_ms(99), 3) if lat else None,
+                    "max": round(lat[-1], 3) if lat else None},
+                "served": dict(self.served)}
+
+    def format(self) -> str:
+        s = self.summary()
+        lat = s["latency_ms"]
+        lines = [f"requests     {self.requests} "
+                 f"({self.ok} ok, {self.failed} failed)",
+                 f"elapsed      {s['elapsed_s']:.3f}s",
+                 f"throughput   {s['throughput_rps']:.1f} req/s",
+                 f"latency ms   p50={lat['p50']} p95={lat['p95']} "
+                 f"p99={lat['p99']} max={lat['max']}",
+                 f"served       {s['served']}"]
+        if self.failures_by_kind:
+            lines.append(f"failures     {dict(self.failures_by_kind)}")
+        return "\n".join(lines)
+
+
+class LoadGenerator:
+    """Closed-loop driver: N workers, one connection each."""
+
+    def __init__(self, host: str, port: int, *, concurrency: int = 8,
+                 timeout_s: float = 300.0):
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.host = host
+        self.port = port
+        self.concurrency = concurrency
+        self.timeout_s = timeout_s
+
+    def run(self, plan: Sequence[Query]) -> LoadReport:
+        """Issue every request in ``plan`` across the worker pool."""
+        lock = threading.Lock()
+        cursor = iter(plan)
+        latencies: list[float] = []
+        failures: dict[str, int] = {}
+        served: dict[str, int] = {}
+        ok_count = [0]
+        fail_count = [0]
+
+        def worker() -> None:
+            with ServiceClient(self.host, self.port,
+                               timeout_s=self.timeout_s) as client:
+                while True:
+                    with lock:
+                        query = next(cursor, None)
+                    if query is None:
+                        return
+                    t0 = time.perf_counter()
+                    try:
+                        result = client.request(query.op, **query.params)
+                    except GraphError as e:
+                        kind = getattr(e, "kind", "internal")
+                        with lock:
+                            fail_count[0] += 1
+                            failures[kind] = failures.get(kind, 0) + 1
+                        continue
+                    dt_ms = (time.perf_counter() - t0) * 1e3
+                    how = (result or {}).get("served") or "unknown"
+                    with lock:
+                        ok_count[0] += 1
+                        latencies.append(dt_ms)
+                        served[how] = served.get(how, 0) + 1
+
+        threads = [threading.Thread(target=worker, daemon=True,
+                                    name=f"loadgen-{i}")
+                   for i in range(self.concurrency)]
+        t_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t_start
+        latencies.sort()
+        return LoadReport(requests=len(plan), ok=ok_count[0],
+                          failed=fail_count[0],
+                          failures_by_kind=failures, elapsed_s=elapsed,
+                          latencies_ms=latencies, served=served)

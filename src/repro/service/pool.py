@@ -1,0 +1,177 @@
+"""Process worker pool: bounded concurrent cell execution with isolation.
+
+The pool turns the PR-1 resilient executor into a serving-side resource:
+``size`` concurrent slots, each running one characterization cell through
+:func:`~repro.resilience.executor.run_cell_resilient` — so a hung worker
+is SIGKILLed at its deadline and a crashed one surfaces as a typed
+:class:`~repro.core.errors.CellExecutionError`, without disturbing the
+other in-flight slots.
+
+Isolation modes mirror the executor's:
+
+``process``  every cell gets a fresh worker subprocess (real containment;
+             the production mode)
+``inline``   cells run on the pool thread itself — no subprocess, so the
+             dataset spec tier can be shared across requests; chaos faults
+             map onto the same typed errors (tests, benchmarks, demos)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core.errors import CellExecutionError, CellOOM, CellCrash, CellTimeout
+from ..resilience.cell import Cell, row_to_record
+from ..resilience.chaos import ChaosSpec, corrupt_payload
+from ..resilience.executor import ExecutorConfig, run_cell_resilient
+from ..resilience.retry import RetryPolicy, run_with_retries
+from .cache import CacheTiers, dataset_key
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Knobs for the serving-side worker pool."""
+
+    size: int = 4                    # concurrent execution slots
+    isolation: str = "process"       # "process" | "inline"
+    timeout_s: float = 300.0
+    retries: int = 0                 # service default: fail fast, the
+    #                                  client decides whether to retry
+    mp_start_method: str = "fork"
+
+    def __post_init__(self):
+        if self.size < 1:
+            raise ValueError("pool size must be >= 1")
+        if self.isolation not in ("process", "inline"):
+            raise ValueError(f"unknown isolation {self.isolation!r}")
+
+
+@dataclass
+class PoolStats:
+    """Execution counters, including failures by taxonomy kind."""
+
+    executed: int = 0
+    failed: int = 0
+    failures_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"executed": self.executed, "failed": self.failed,
+                "failures_by_kind": dict(self.failures_by_kind)}
+
+
+class WorkerPool:
+    """Bounded pool of isolated cell executors.
+
+    ``run_record`` is the async entry: it parks the awaiting coroutine
+    while one of ``size`` pool threads drives the (blocking, possibly
+    subprocess-spawning) resilient executor, and returns the flat row
+    record — the exact JSON shape the wire and the checkpoint journal
+    share.
+    """
+
+    def __init__(self, config: PoolConfig | None = None, *,
+                 chaos: ChaosSpec | None = None,
+                 caches: CacheTiers | None = None,
+                 memoize: bool = True):
+        self.config = config or PoolConfig()
+        self.chaos = chaos
+        self.caches = caches
+        self.memoize = memoize
+        self.stats = PoolStats()
+        self._lock = threading.Lock()
+        self._tpe = ThreadPoolExecutor(
+            max_workers=self.config.size,
+            thread_name_prefix="repro-pool")
+
+    async def run_record(self, cell: Cell) -> dict:
+        """Execute one cell on a pool slot; raise typed errors on failure."""
+        loop = asyncio.get_running_loop()
+        try:
+            record = await loop.run_in_executor(
+                self._tpe, self._run_sync, cell)
+        except CellExecutionError as e:
+            last = getattr(e, "last", e)
+            with self._lock:
+                self.stats.failed += 1
+                self.stats.failures_by_kind[last.kind] = \
+                    self.stats.failures_by_kind.get(last.kind, 0) + 1
+            raise
+        with self._lock:
+            self.stats.executed += 1
+        return record
+
+    def shutdown(self) -> None:
+        self._tpe.shutdown(wait=True, cancel_futures=True)
+
+    # -- blocking paths (pool thread) ---------------------------------------
+
+    def _run_sync(self, cell: Cell) -> dict:
+        if self.config.isolation == "inline":
+            policy = RetryPolicy(max_retries=self.config.retries)
+            record, attempts = run_with_retries(
+                lambda attempt: self._run_inline(cell, attempt),
+                policy, cell.cell_id)
+            record["attempts"] = attempts
+            return record
+        config = ExecutorConfig(
+            timeout_s=self.config.timeout_s,
+            policy=RetryPolicy(max_retries=self.config.retries),
+            isolation="process",
+            mp_start_method=self.config.mp_start_method)
+        record, _ = run_cell_resilient(cell, config=config,
+                                       chaos=self.chaos)
+        return record
+
+    def _run_inline(self, cell: Cell, attempt: int) -> dict:
+        """In-process attempt sharing the dataset spec tier.
+
+        Mirrors :func:`~repro.resilience.executor.run_cell_inline` but
+        materializes the dataset through the cache (a subprocess cannot
+        share specs; a pool thread can) and honours ``memoize=False`` so
+        the cache-off baseline really recomputes.
+        """
+        from ..datagen.registry import make as make_dataset
+        from ..harness.runner import characterize
+
+        fault = (self.chaos.fault_for(cell.cell_id, attempt)
+                 if self.chaos is not None else None)
+        if fault is not None:
+            if fault.kind == "hang":
+                raise CellTimeout(cell.cell_id, self.config.timeout_s)
+            if fault.kind in ("crash", "raise"):
+                raise CellCrash(cell.cell_id,
+                                f"chaos: injected {fault.kind}")
+            if fault.kind == "oom":
+                raise CellOOM(cell.cell_id,
+                              "chaos: simulated allocator OOM")
+        try:
+            spec = None
+            dkey = dataset_key(cell.dataset, cell.scale, cell.seed)
+            if self.caches is not None:
+                spec = self.caches.datasets.get(dkey)
+            if spec is None:
+                spec = make_dataset(cell.dataset, scale=cell.scale,
+                                    seed=cell.seed)
+                if self.caches is not None:
+                    self.caches.datasets.put(dkey, spec)
+            row = characterize(cell.workload, spec,
+                               machine=cell.machine_config(),
+                               with_gpu=cell.with_gpu,
+                               memo=self.memoize)
+        except MemoryError as e:
+            raise CellOOM(cell.cell_id, str(e) or "MemoryError") from e
+        except CellExecutionError:
+            raise
+        except Exception as e:
+            raise CellCrash(cell.cell_id,
+                            f"{type(e).__name__}: {e}") from e
+        payload = row_to_record(row, cell, attempts=attempt)
+        payload = corrupt_payload(fault, payload, cell.cell_id)
+        if not isinstance(payload, dict):
+            raise CellCrash(cell.cell_id,
+                            f"corrupt result payload "
+                            f"({type(payload).__name__})")
+        return payload

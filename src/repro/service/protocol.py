@@ -1,0 +1,164 @@
+"""Wire protocol: versioned JSON-lines request/response framing.
+
+One frame is one JSON object on one ``\\n``-terminated UTF-8 line — the
+same self-describing flat-record discipline the checkpoint journal uses,
+so a characterization Row travels the socket in exactly the shape it is
+journaled in.  Every frame carries the protocol version; every response
+carries the request id it answers, and failures cross the wire as typed
+payloads whose ``kind`` tags are the :mod:`repro.core.errors` taxonomy.
+
+Request::
+
+    {"v": 1, "id": "c1-7", "op": "run", "params": {"workload": "BFS", ...}}
+
+Response::
+
+    {"v": 1, "id": "c1-7", "ok": true,  "result": {...}}
+    {"v": 1, "id": "c1-7", "ok": false,
+     "error": {"kind": "crash", "type": "CellCrash", "message": "..."}}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import (
+    AdmissionRejected,
+    BadRequest,
+    GraphError,
+    ProtocolError,
+    RemoteError,
+)
+
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame — a request or response line larger than this is
+#: a protocol violation, not a payload (characterization records are a few
+#: KB; dataset listings under 100).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+#: The operations a server understands.
+OPS = ("ping", "run", "characterize", "datasets", "workloads", "stats")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed, validated request frame."""
+
+    op: str
+    id: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+# -- encoding ----------------------------------------------------------------
+
+def _frame(obj: dict[str, Any]) -> bytes:
+    data = json.dumps(obj, separators=(",", ":"), sort_keys=True,
+                      allow_nan=True).encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds "
+                            f"{MAX_FRAME_BYTES}")
+    return data
+
+
+def encode_request(op: str, req_id: str,
+                   params: dict[str, Any] | None = None) -> bytes:
+    return _frame({"v": PROTOCOL_VERSION, "id": req_id, "op": op,
+                   "params": params or {}})
+
+
+def encode_response(req_id: str | None, result: Any) -> bytes:
+    return _frame({"v": PROTOCOL_VERSION, "id": req_id, "ok": True,
+                   "result": result})
+
+
+def encode_error(req_id: str | None, exc: BaseException) -> bytes:
+    return _frame({"v": PROTOCOL_VERSION, "id": req_id, "ok": False,
+                   "error": error_to_payload(exc)})
+
+
+# -- decoding ----------------------------------------------------------------
+
+def decode_frame(line: bytes) -> dict[str, Any]:
+    """Parse one wire line into a frame dict.
+
+    Raises :class:`ProtocolError` on garbage bytes, truncation (a line
+    that lost its terminator mid-frame parses as broken JSON), non-object
+    payloads, or a version the peer does not speak.
+    """
+    if not line.strip():
+        raise ProtocolError("empty frame")
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(line)} bytes exceeds "
+                            f"{MAX_FRAME_BYTES}")
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        raise ProtocolError(f"undecodable frame: {e}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"frame is {type(obj).__name__}, expected "
+                            "object")
+    v = obj.get("v")
+    if v != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {v!r} "
+                            f"(speaking {PROTOCOL_VERSION})")
+    return obj
+
+
+def parse_request(frame: dict[str, Any]) -> Request:
+    """Validate a decoded frame as a request."""
+    op = frame.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request lacks an 'op' string")
+    if op not in OPS:
+        raise BadRequest(f"unknown operation {op!r}; "
+                         f"choose from {', '.join(OPS)}")
+    req_id = frame.get("id")
+    if not isinstance(req_id, str) or not req_id:
+        raise ProtocolError("request lacks an 'id' string")
+    params = frame.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(f"params is {type(params).__name__}, "
+                            "expected object")
+    return Request(op=op, id=req_id, params=params)
+
+
+# -- error payloads ----------------------------------------------------------
+
+def error_to_payload(exc: BaseException) -> dict[str, str]:
+    """Flatten an exception into the typed wire payload.
+
+    Framework errors carry their taxonomy ``kind``; anything else is an
+    ``internal`` failure (the message is the exception summary, never a
+    traceback — the wire is not a debugger).
+    """
+    kind = getattr(exc, "kind", None)
+    if not isinstance(kind, str):
+        kind = "bad-request" if isinstance(exc, (KeyError, ValueError)) \
+            else "internal"
+    message = getattr(exc, "message", None)
+    if not isinstance(message, str):
+        message = str(exc) or type(exc).__name__
+    return {"kind": kind, "type": type(exc).__name__, "message": message}
+
+
+def payload_to_error(payload: dict[str, Any]) -> GraphError:
+    """Rehydrate a wire error payload into a raisable exception.
+
+    Backpressure and protocol violations map back onto their concrete
+    classes (so a client can catch :class:`AdmissionRejected` and back
+    off); everything else becomes a :class:`RemoteError` preserving the
+    server's taxonomy tag.
+    """
+    kind = str(payload.get("kind", "internal"))
+    message = str(payload.get("message", ""))
+    remote_type = str(payload.get("type", ""))
+    if kind == AdmissionRejected.kind:
+        err = AdmissionRejected(0, 0)
+        err.args = (message,)
+        return err
+    if kind == ProtocolError.kind:
+        return ProtocolError(message)
+    return RemoteError(kind, message, remote_type)

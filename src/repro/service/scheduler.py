@@ -1,0 +1,175 @@
+"""Request scheduling: admission control, micro-batching, result caching.
+
+The scheduler is the front door between the connection handlers and the
+worker pool.  Three mechanisms turn one-shot batch machinery into a
+traffic-serving system:
+
+* **Admission control** — at most ``max_pending`` distinct executions may
+  be queued-or-running; beyond that, new work is rejected with
+  :class:`~repro.core.errors.AdmissionRejected` (backpressure, not an
+  unbounded queue).  Coalesced waiters do not count: joining an in-flight
+  execution consumes no new capacity.
+* **Micro-batching** — requests for an identical cell (same
+  ``(workload, dataset, scale, seed, machine, gpu)`` identity) that
+  arrive while one is queued or executing are *coalesced*: one execution
+  runs, every waiter gets the result.  An optional ``batch_window_s``
+  holds a fresh execution briefly so near-simultaneous duplicates can
+  pile on.
+* **Row caching** — completed records land in the
+  :class:`~repro.service.cache.CacheTiers` row tier; an identical later
+  request is answered without touching the pool.
+
+Everything runs on the server's event loop; the only await points are the
+pool handoff and the batch window, so the bookkeeping needs no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from ..core.errors import AdmissionRejected, CellExecutionError
+from ..resilience.cell import Cell
+from .cache import CacheTiers, row_key
+from .pool import WorkerPool
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs for admission and coalescing."""
+
+    max_pending: int = 64            # distinct executions queued+running
+    batching: bool = True            # coalesce identical in-flight cells
+    batch_window_s: float = 0.0      # hold before dispatch to collect dups
+    caching: bool = True             # serve/fill the row cache tier
+
+    def __post_init__(self):
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+
+
+@dataclass
+class SchedulerStats:
+    """Traffic counters: how requests were satisfied."""
+
+    submitted: int = 0
+    cache_hits: int = 0              # answered from the row tier
+    coalesced: int = 0               # joined an in-flight execution
+    executed: int = 0                # dispatched to the pool
+    rejected: int = 0                # shed by admission control
+    failed: int = 0                  # executions that raised
+
+    def as_dict(self) -> dict[str, int]:
+        return {"submitted": self.submitted, "cache_hits": self.cache_hits,
+                "coalesced": self.coalesced, "executed": self.executed,
+                "rejected": self.rejected, "failed": self.failed}
+
+
+class _Batch:
+    """One in-flight execution and everyone waiting on it."""
+
+    def __init__(self, cell: Cell):
+        self.cell = cell
+        self.waiters: list[asyncio.Future] = []
+
+    def join(self) -> asyncio.Future:
+        fut = asyncio.get_running_loop().create_future()
+        self.waiters.append(fut)
+        return fut
+
+    def resolve(self, record: dict) -> None:
+        for fut in self.waiters:
+            if not fut.done():
+                # each waiter gets its own shallow copy: the connection
+                # handlers annotate the record (cache/coalesce tags)
+                fut.set_result(dict(record))
+
+    def fail(self, exc: BaseException) -> None:
+        for fut in self.waiters:
+            if not fut.done():
+                fut.set_exception(exc)
+
+
+class Scheduler:
+    """Admission-controlled, coalescing dispatcher over a worker pool."""
+
+    def __init__(self, pool: WorkerPool, caches: CacheTiers | None = None,
+                 config: SchedulerConfig | None = None):
+        self.pool = pool
+        self.caches = caches
+        self.config = config or SchedulerConfig()
+        self.stats = SchedulerStats()
+        self._inflight: dict[str, _Batch] = {}
+        self._pending = 0
+        self._tasks: set[asyncio.Task] = set()
+
+    @property
+    def pending(self) -> int:
+        """Distinct executions currently queued or running."""
+        return self._pending
+
+    async def submit(self, cell: Cell) -> dict:
+        """Resolve one request: cache tier, coalesce, or execute.
+
+        Returns the flat row record (annotated with ``served``:
+        ``cache`` / ``coalesced`` / ``executed``); raises the typed
+        execution error if the cell's execution failed, or
+        :class:`AdmissionRejected` when the server is saturated.
+        """
+        self.stats.submitted += 1
+        key = row_key(cell)
+        if self.config.caching and self.caches is not None:
+            record = self.caches.rows.get(key)
+            if record is not None:
+                self.stats.cache_hits += 1
+                return dict(record, served="cache")
+        if self.config.batching and key in self._inflight:
+            self.stats.coalesced += 1
+            record = await self._inflight[key].join()
+            record["served"] = "coalesced"
+            return record
+        if self._pending >= self.config.max_pending:
+            self.stats.rejected += 1
+            raise AdmissionRejected(self._pending, self.config.max_pending)
+        batch = _Batch(cell)
+        self._inflight[key] = batch
+        self._pending += 1
+        fut = batch.join()
+        task = asyncio.get_running_loop().create_task(
+            self._execute(key, batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        record = await fut
+        record["served"] = "executed"
+        return record
+
+    async def _execute(self, key: str, batch: _Batch) -> None:
+        try:
+            if self.config.batch_window_s > 0:
+                await asyncio.sleep(self.config.batch_window_s)
+            record = await self.pool.run_record(batch.cell)
+        except BaseException as e:  # noqa: BLE001 — fan out, don't lose it
+            self.stats.failed += 1
+            self._inflight.pop(key, None)
+            self._pending -= 1
+            batch.fail(e)
+            if not isinstance(e, (CellExecutionError, Exception)):
+                raise          # CancelledError etc.: propagate after fanning
+            return
+        self.stats.executed += 1
+        # drop from the coalescing map *before* resolving waiters so a
+        # request racing in after completion re-executes (or hits the
+        # cache) instead of joining a finished batch
+        self._inflight.pop(key, None)
+        self._pending -= 1
+        if self.config.caching and self.caches is not None:
+            self.caches.rows.put(key, dict(record))
+        batch.resolve(record)
+
+    async def drain(self) -> None:
+        """Wait for every in-flight execution to settle (shutdown path)."""
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks),
+                                 return_exceptions=True)

@@ -1,0 +1,291 @@
+"""The graph-query service: a long-lived asyncio TCP server.
+
+Turns the batch characterization machinery into a traffic-serving system:
+connections speak the JSON-lines protocol (:mod:`~repro.service.protocol`),
+requests flow through the admission-controlled coalescing scheduler
+(:mod:`~repro.service.scheduler`) into the isolated worker pool
+(:mod:`~repro.service.pool`), and results come back as the same flat row
+records the checkpoint journal uses.
+
+Operations::
+
+    ping          liveness + version handshake
+    workloads     the Table 4 registry, machine-readable
+    datasets      the Table 5/7 dataset registry, machine-readable
+    run           execute a workload x dataset cell, return its outputs
+    characterize  same execution, return the full metric record
+    stats         cache / scheduler / pool / connection counters
+
+A failure in one request — including a chaos-killed worker subprocess —
+becomes a typed error frame on that request's connection; every other
+in-flight request proceeds undisturbed.
+
+:class:`ServiceThread` hosts the event loop on a background thread for
+blocking callers (tests, the load generator, demos).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any
+
+from .. import __version__
+from ..core.errors import BadRequest, ProtocolError
+from ..resilience.cell import MACHINES, Cell
+from ..resilience.chaos import ChaosSpec
+from .cache import CacheTiers
+from .pool import PoolConfig, WorkerPool
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Request,
+    decode_frame,
+    encode_error,
+    encode_response,
+    parse_request,
+)
+from .scheduler import Scheduler, SchedulerConfig
+
+#: Parameters a run/characterize request may carry (typo protection: an
+#: unknown key is a bad request, not a silently-ignored knob).
+_CELL_PARAMS = frozenset({"workload", "dataset", "scale", "seed",
+                          "machine", "gpu"})
+
+
+def workloads_payload() -> list[dict[str, Any]]:
+    """The Table 4 registry as JSON-ready rows (shared with ``list
+    --json``)."""
+    from ..workloads import table4
+    return [{"workload": r.workload, "category": r.category,
+             "ctype": r.computation_type, "gpu": r.gpu,
+             "algorithm": r.algorithm} for r in table4()]
+
+
+def datasets_payload() -> list[dict[str, Any]]:
+    """The dataset registry as JSON-ready rows (shared with ``datasets
+    --json``)."""
+    from ..datagen.registry import REGISTRY
+    return [{"key": key, "name": e.name, "source": e.source.name,
+             "paper_vertices": e.paper_vertices,
+             "paper_edges": e.paper_edges,
+             "default_vertices": e.default_vertices}
+            for key, e in REGISTRY.items()]
+
+
+def cell_from_params(params: dict[str, Any]) -> Cell:
+    """Validate request params into a Cell; raise ``BadRequest`` on any
+    name or value that can never execute."""
+    from ..datagen.registry import REGISTRY
+    from ..workloads import WORKLOADS
+
+    unknown = sorted(set(params) - _CELL_PARAMS)
+    if unknown:
+        raise BadRequest(f"unknown parameter(s) {', '.join(unknown)}; "
+                         f"choose from {', '.join(sorted(_CELL_PARAMS))}")
+    workload = params.get("workload")
+    if not isinstance(workload, str) or workload not in WORKLOADS:
+        raise BadRequest(f"unknown workload {workload!r}; "
+                         f"choose from {', '.join(sorted(WORKLOADS))}")
+    dataset = params.get("dataset", "ldbc")
+    if not isinstance(dataset, str) or dataset not in REGISTRY:
+        raise BadRequest(f"unknown dataset {dataset!r}; "
+                         f"choose from {', '.join(sorted(REGISTRY))}")
+    machine = params.get("machine", "scaled")
+    if machine not in MACHINES:
+        raise BadRequest(f"unknown machine {machine!r}; "
+                         f"choose from {', '.join(sorted(MACHINES))}")
+    try:
+        scale = float(params.get("scale", 0.25))
+        seed = int(params.get("seed", 0))
+        gpu = bool(params.get("gpu", False))
+    except (TypeError, ValueError) as e:
+        raise BadRequest(f"bad parameter value: {e}") from None
+    if not scale > 0:
+        raise BadRequest(f"scale must be > 0, got {scale!r}")
+    return Cell(workload=workload, dataset=dataset, scale=scale,
+                seed=seed, machine=machine, with_gpu=gpu)
+
+
+class GraphService:
+    """One serving instance: caches + pool + scheduler + TCP front end."""
+
+    def __init__(self, *, pool_config: PoolConfig | None = None,
+                 scheduler_config: SchedulerConfig | None = None,
+                 caches: CacheTiers | None = None,
+                 chaos: ChaosSpec | None = None):
+        self.scheduler_config = scheduler_config or SchedulerConfig()
+        self.caches = caches if caches is not None else CacheTiers.build()
+        self.pool = WorkerPool(pool_config, chaos=chaos,
+                               caches=self.caches,
+                               memoize=self.scheduler_config.caching)
+        self.scheduler = Scheduler(self.pool, self.caches,
+                                   self.scheduler_config)
+        self.op_counts: dict[str, int] = {}
+        self.connections = 0
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._server: asyncio.AbstractServer | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind and listen; returns the bound port (``port=0`` picks one)."""
+        self._server = await asyncio.start_server(
+            self._handle, host, port, limit=MAX_FRAME_BYTES)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        await self.scheduler.drain()
+        self.pool.shutdown()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode_error(
+                        None, ProtocolError("frame exceeds size limit")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break                      # clean EOF between frames
+                if not line.endswith(b"\n"):
+                    # EOF mid-frame: the peer died mid-write
+                    writer.write(encode_error(
+                        None, ProtocolError("truncated frame at EOF")))
+                    await writer.drain()
+                    break
+                req_id: str | None = None
+                try:
+                    req = parse_request(decode_frame(line))
+                    req_id = req.id
+                    result = await self._dispatch(req)
+                    writer.write(encode_response(req_id, result))
+                except Exception as e:  # noqa: BLE001 — typed onto the wire
+                    writer.write(encode_error(req_id, e))
+                await writer.drain()
+        except ConnectionError:
+            pass                               # peer vanished mid-response
+        except asyncio.CancelledError:
+            # server shutdown cancels idle handlers; end the task cleanly
+            # (3.11's stream callback logs tasks that die cancelled)
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass       # teardown path: the close already happened
+
+    async def _dispatch(self, req: Request) -> Any:
+        self.op_counts[req.op] = self.op_counts.get(req.op, 0) + 1
+        if req.op == "ping":
+            return {"pong": True, "protocol": PROTOCOL_VERSION,
+                    "server": __version__}
+        if req.op == "workloads":
+            return workloads_payload()
+        if req.op == "datasets":
+            return datasets_payload()
+        if req.op == "stats":
+            return self.stats()
+        # run / characterize both execute the cell; they differ in how
+        # much of the record goes back over the wire
+        cell = cell_from_params(req.params)
+        record = await self.scheduler.submit(cell)
+        if req.op == "run":
+            return {"workload": record["workload"],
+                    "dataset": record["dataset"],
+                    "outputs": record.get("outputs", {}),
+                    "elapsed_s": record.get("elapsed_s"),
+                    "served": record.get("served"),
+                    "attempts": record.get("attempts")}
+        return record
+
+    def stats(self) -> dict[str, Any]:
+        return {"protocol": PROTOCOL_VERSION,
+                "server": __version__,
+                "connections": self.connections,
+                "ops": dict(self.op_counts),
+                "scheduler": self.scheduler.stats.as_dict(),
+                "pool": self.pool.stats.as_dict(),
+                "cache": self.caches.stats()}
+
+
+class ServiceThread:
+    """Host a :class:`GraphService` event loop on a daemon thread.
+
+    Context-manager: entering starts the loop and binds the socket
+    (``host``/``port`` attributes are then live); exiting stops the
+    server, drains in-flight work, and joins the thread.  This is the
+    serving harness for blocking callers — tests, the load generator,
+    the throughput benchmark.
+    """
+
+    def __init__(self, service: GraphService | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service or GraphService()
+        self._want_host = host
+        self._want_port = port
+        self.host: str | None = None
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-service")
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as e:  # noqa: BLE001 — surfaced on __enter__
+            self._error = e
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.service.start(self._want_host, self._want_port)
+        self.host, self.port = self.service.host, self.service.port
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.stop()
+
+    def __enter__(self) -> "ServiceThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        if self._error is not None:
+            raise RuntimeError("service failed to start") from self._error
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)

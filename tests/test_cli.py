@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -31,6 +33,39 @@ class TestParser:
         assert args.resume is False
         assert args.checkpoint is None
         assert args.isolation == "process"
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "protocol" in out
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7421
+        assert args.workers == 4
+        assert args.isolation == "process"
+        assert args.no_cache is False
+        assert args.max_pending == 64
+
+    def test_loadgen_flags(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--spawn", "--requests", "80",
+             "--concurrency", "8", "--no-cache", "--no-batch",
+             "--isolation", "inline"])
+        assert args.spawn and args.requests == 80
+        assert args.no_cache and args.no_batch
+        assert args.isolation == "inline"
+
+    def test_query_ops(self):
+        args = build_parser().parse_args(
+            ["query", "run", "BFS", "--dataset", "roadnet",
+             "--port", "9000"])
+        assert args.op == "run" and args.workload == "BFS"
+        assert args.port == 9000
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "frobnicate"])
 
     def test_matrix_resilience_flags(self):
         args = build_parser().parse_args(
@@ -87,6 +122,39 @@ class TestCommands:
     def test_matrix_resume_requires_checkpoint(self, capsys):
         assert main(["matrix", "--resume"]) == 2
         assert "--checkpoint" in capsys.readouterr().err
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 13
+        assert {"workload", "category", "ctype", "gpu",
+                "algorithm"} <= set(rows[0])
+
+    def test_datasets_json(self, capsys):
+        assert main(["datasets", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["key"] for r in rows} == \
+            {"twitter", "knowledge", "watson", "roadnet", "ldbc"}
+        assert all("default_vertices" in r for r in rows)
+
+    def test_query_without_server(self, capsys):
+        # port 1 is never listening: the client reports, not tracebacks
+        assert main(["query", "ping", "--port", "1"]) == 2
+        assert "no service" in capsys.readouterr().err
+
+    def test_query_requires_workload_for_run(self, capsys):
+        assert main(["query", "run", "--port", "1"]) == 2
+        assert "requires a workload" in capsys.readouterr().err
+
+    def test_loadgen_spawned_end_to_end(self, capsys):
+        assert main(["loadgen", "--spawn", "--isolation", "inline",
+                     "--requests", "20", "--concurrency", "4",
+                     "--workloads", "BFS", "--scale", "0.03",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] == 20 and payload["failed"] == 0
+        assert payload["throughput_rps"] > 0
+        assert payload["server_stats"]["scheduler"]["submitted"] == 20
 
     def test_matrix_inline_sweep_and_resume(self, capsys, tmp_path):
         cp = str(tmp_path / "sweep.jsonl")
