@@ -16,7 +16,6 @@ from repro.harness import (
     format_table,
     paper_note,
     pivot,
-    spread,
 )
 
 

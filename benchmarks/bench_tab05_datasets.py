@@ -10,7 +10,6 @@ feature checks that drive Figs. 9/13.
 import numpy as np
 
 from benchmarks.conftest import show
-from repro.core.taxonomy import DataSource
 from repro.datagen import REGISTRY
 from repro.harness import format_table, paper_note
 

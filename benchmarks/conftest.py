@@ -21,7 +21,7 @@ import pytest
 
 from repro.arch.machine import SCALED_XEON
 from repro.bayes import munin_like
-from repro.datagen import experiment_datasets, make
+from repro.datagen import experiment_datasets
 from repro.harness import (
     CPU_WORKLOADS,
     DATA_SENSITIVE_WORKLOADS,

@@ -7,7 +7,7 @@ Run:  python examples/gpu_vs_cpu.py
 """
 
 from repro.datagen import ldbc
-from repro.gpu import populate, run_gpu_workload
+from repro.gpu import populate
 from repro.harness import GPU_WORKLOAD_SET, characterize, gpu_speedup
 from repro.workloads import common_edge_schema, common_vertex_schema
 

@@ -13,7 +13,7 @@ methodology").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .cache import CacheConfig
 from .tlb import TLBConfig

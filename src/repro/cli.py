@@ -14,6 +14,10 @@ Examples::
     python -m repro serve --port 7421 --workers 4
     python -m repro query run BFS --dataset ldbc --scale 0.1
     python -m repro loadgen --requests 200 --concurrency 16
+    python -m repro stats --port 7421 --format prom
+    python -m repro --log-level info --log-json serve
+    python -m repro matrix --scale 0.05 --chaos-rate 0.2 \\
+        --trace-out trace.json   # open in about:tracing
 """
 
 from __future__ import annotations
@@ -148,12 +152,36 @@ def cmd_matrix(args) -> int:
           f"({len(workloads)} workloads x {len(datasets)} datasets), "
           f"timeout {args.timeout:g}s, {args.retries} retries"
           + (", resuming" if args.resume else ""))
-    result = run_matrix(cells, config=config, chaos=chaos,
-                        checkpoint=checkpoint, resume=args.resume,
-                        progress=lambda line: print(f"  {line}"))
+    from .obs import MetricsRegistry, SpanTracer, counter_total
+    from .obs.tracing import set_global_tracer
+    registry = MetricsRegistry()
+    tracer = SpanTracer() if args.trace_out else None
+    if tracer is not None:
+        # global install so inline-isolation characterize phases nest
+        # under the per-cell spans (subprocess workers cannot report)
+        set_global_tracer(tracer)
+    try:
+        result = run_matrix(cells, config=config, chaos=chaos,
+                            checkpoint=checkpoint, resume=args.resume,
+                            progress=lambda line: print(f"  {line}"),
+                            tracer=tracer, registry=registry)
+    finally:
+        if tracer is not None:
+            set_global_tracer(None)
     print(f"\ncompleted {len(result.rows)}/{result.total_cells} cells "
           f"({result.resumed} resumed, {result.executed} executed, "
           f"{len(result.failures)} failed)")
+    snap = registry.snapshot()
+    retries = counter_total(snap, "matrix_retries_total")
+    if retries or result.failures:
+        faults = {s["labels"]["kind"]: int(s["value"])
+                  for s in snap.get("matrix_faults_total",
+                                    {}).get("samples", [])}
+        print(f"retries: {int(retries)}, faults by kind: {faults}")
+    if args.trace_out:
+        tracer.write_chrome_trace(args.trace_out)
+        print(f"wrote Chrome trace ({len(tracer)} spans) to "
+              f"{args.trace_out} — open in about:tracing")
     print()
     print(matrix_table(result.rows, result.failures, metric=args.metric))
     if result.failures:
@@ -254,13 +282,16 @@ def cmd_query(args) -> int:
 
 
 def cmd_loadgen(args) -> int:
+    from .obs import SpanTracer
     from .service import LoadGenerator, ServiceThread, schedule, workload_mix
 
     mix = workload_mix(tuple(args.workloads.split(",")),
                        tuple(args.datasets.split(",")),
                        scale=args.scale, seeds=args.seeds, op=args.op)
     plan = schedule(mix, args.requests, seed=args.seed)
-    gen_args = dict(concurrency=args.concurrency, timeout_s=args.timeout)
+    tracer = SpanTracer() if args.trace_out else None
+    gen_args = dict(concurrency=args.concurrency, timeout_s=args.timeout,
+                    tracer=tracer)
     if not args.json:
         print(f"loadgen: {args.requests} requests over {len(mix)} "
               f"distinct queries, {args.concurrency} closed-loop workers")
@@ -278,6 +309,11 @@ def cmd_loadgen(args) -> int:
                   "(start one, or pass --spawn)", file=sys.stderr)
             return 2
         stats = None
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace_out)
+        if not args.json:
+            print(f"wrote Chrome trace ({len(tracer)} spans) to "
+                  f"{args.trace_out}")
     if args.json:
         payload = report.summary()
         if stats is not None:
@@ -288,6 +324,58 @@ def cmd_loadgen(args) -> int:
         if stats is not None:
             print(f"server       scheduler={stats['scheduler']}")
     return 0 if report.failed == 0 else 1
+
+
+def cmd_stats(args) -> int:
+    from .obs import quantile_from_snapshot, render_prometheus
+    from .service import ServiceClient
+
+    try:
+        with ServiceClient(args.host, args.port,
+                           timeout_s=args.timeout) as client:
+            stats = client.stats()
+    except ConnectionRefusedError:
+        print(f"error: no service at {args.host}:{args.port} "
+              "(start one with `python -m repro serve`)", file=sys.stderr)
+        return 2
+    metrics = stats.get("metrics", {})
+    if args.format == "json":
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    if args.format == "prom":
+        sys.stdout.write(render_prometheus(metrics))
+        return 0
+    # human summary: the counters an operator reaches for first
+    print(f"server       {stats.get('server')} "
+          f"(protocol {stats.get('protocol')}), "
+          f"{stats.get('connections')} connections")
+    print(f"ops          {stats.get('ops')}")
+    sched = stats.get("scheduler", {})
+    print(f"scheduler    pending={sched.get('pending')} "
+          f"cache_hits={sched.get('cache_hits')} "
+          f"coalesced={sched.get('coalesced')} "
+          f"executed={sched.get('executed')} "
+          f"rejected={sched.get('rejected')}")
+    pool = stats.get("pool", {})
+    print(f"pool         executed={pool.get('executed')} "
+          f"failed={pool.get('failed')} "
+          f"worker_restarts={pool.get('worker_restarts')} "
+          f"failures={pool.get('failures_by_kind')}")
+    for tier, c in sorted(stats.get("cache", {}).items()):
+        print(f"cache/{tier:9s} hits={c.get('hits')} "
+              f"misses={c.get('misses')} "
+              f"hit_rate={c.get('hit_rate')}")
+    lat = metrics.get("service_request_latency_ms", {})
+    for sample in lat.get("samples", []):
+        op = sample.get("labels", {}).get("op", "?")
+        if not sample.get("count"):
+            continue
+        p50 = quantile_from_snapshot(sample, 50)
+        p95 = quantile_from_snapshot(sample, 95)
+        p99 = quantile_from_snapshot(sample, 99)
+        print(f"latency/{op:12s} n={sample['count']:<6d} "
+              f"p50<={p50:g}ms p95<={p95:g}ms p99<={p99:g}ms")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -301,6 +389,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--version", action="version",
                    version=f"repro {__version__} "
                            f"(protocol {PROTOCOL_VERSION})")
+    p.add_argument("--log-level", default="warning",
+                   choices=("debug", "info", "warning", "error"),
+                   help="logging threshold for the repro.* loggers "
+                        "(default: warning)")
+    p.add_argument("--log-json", action="store_true",
+                   help="structured JSON-lines log output (one object "
+                        "per record, extra fields included)")
     sub = p.add_subparsers(dest="command", required=True)
 
     lst = sub.add_parser("list", help="list the 13 workloads (Table 4)")
@@ -367,6 +462,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "cell attempt (testing the harness itself)")
     m.add_argument("--chaos-seed", type=int, default=0,
                    help="seed for the chaos RNG (default: 0)")
+    m.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write per-cell spans (with retry children) as "
+                        "Chrome Trace Event JSON — open in about:tracing")
 
     def add_service_knobs(sp):
         sp.add_argument("--workers", type=int, default=4,
@@ -454,16 +552,34 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("run", "characterize"))
     lg.add_argument("--json", action="store_true",
                     help="machine-readable report")
+    lg.add_argument("--trace-out", default=None, metavar="FILE",
+                    help="write per-request spans as Chrome Trace Event "
+                         "JSON — open in about:tracing")
     add_service_knobs(lg)
+
+    st = sub.add_parser(
+        "stats",
+        help="scrape a running service: ops, latency percentiles, "
+             "cache/queue/pool counters")
+    st.add_argument("--host", default="127.0.0.1")
+    st.add_argument("--port", type=int, default=7421)
+    st.add_argument("--timeout", type=float, default=30.0)
+    st.add_argument("--format", default="table",
+                    choices=("table", "json", "prom"),
+                    help="output: human table, full JSON stats, or "
+                         "Prometheus text exposition (default: table)")
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from .obs import setup_logging
+    setup_logging(args.log_level, json_mode=args.log_json)
     handler = {"list": cmd_list, "datasets": cmd_datasets, "run": cmd_run,
                "characterize": cmd_characterize, "gpu": cmd_gpu,
                "matrix": cmd_matrix, "serve": cmd_serve,
-               "query": cmd_query, "loadgen": cmd_loadgen}
+               "query": cmd_query, "loadgen": cmd_loadgen,
+               "stats": cmd_stats}
     try:
         return handler[args.command](args)
     except KeyError as e:   # unknown workload/dataset names

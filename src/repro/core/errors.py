@@ -130,6 +130,16 @@ class RetriesExhausted(CellExecutionError):
         self.last = last
 
 
+# -- observability taxonomy --------------------------------------------------
+
+class MetricError(GraphError, ValueError):
+    """Metrics-registry misuse: re-registering a name as a different
+    instrument type or label set, a negative counter increment, a label
+    assignment that does not match the declared names, or degenerate
+    histogram buckets.  Deterministic programming errors — raised
+    immediately rather than silently skewing measurements."""
+
+
 # -- service taxonomy --------------------------------------------------------
 #
 # The query service (repro.service) ships failures across a socket as typed

@@ -33,7 +33,7 @@ from .errors import (
     EdgeNotFound,
     VertexNotFound,
 )
-from .memmodel import AGED_HEAP, PACKED_HEAP, HeapModel, SimAllocator
+from .memmodel import PACKED_HEAP, HeapModel, SimAllocator
 from .properties import EMPTY_SCHEMA, Field, Schema
 from . import trace as T
 

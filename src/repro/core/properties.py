@@ -13,7 +13,7 @@ the *same* address stream a C++ vertex-centric framework would generate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from .errors import SchemaError

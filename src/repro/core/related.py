@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .taxonomy import ComputationType, DataSource
+from .taxonomy import ComputationType
 
 
 @dataclass(frozen=True)

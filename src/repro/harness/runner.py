@@ -26,6 +26,7 @@ from ..datagen.registry import make as make_dataset
 from ..datagen.spec import GraphSpec
 from ..gpu.device import K40, DeviceConfig, GPUMetrics
 from ..gpu.runner import run_gpu_workload
+from ..obs.tracing import maybe_span
 from ..parallel.multicore import project_multicore
 from ..service.cache import LRUCache
 from ..workloads import WORKLOADS, build_bn_graph
@@ -169,11 +170,16 @@ def characterize(name: str, spec: GraphSpec, *,
                  device: DeviceConfig = K40,
                  with_gpu: bool = False,
                  cache_key: tuple | None = None,
-                 memo: bool = True) -> Row:
+                 memo: bool = True,
+                 tracer=None) -> Row:
     """Full characterization of one workload on one dataset (memoized).
 
     ``memo=False`` bypasses the memo entirely (no lookup, no fill) —
     the service's cache-off baseline measures true recompute cost.
+    With a ``tracer`` (or an installed global
+    :class:`~repro.obs.SpanTracer`) the pass records a
+    ``characterize:<workload>:<dataset>`` span with ``cpu``/``gpu``
+    child phases; a memo hit closes immediately, tagged ``served=memo``.
     """
     # MachineConfig is a frozen dataclass: hashing the whole config (not
     # just its name) keeps two differently-tuned machines with the same
@@ -182,21 +188,28 @@ def characterize(name: str, spec: GraphSpec, *,
     key = cache_key or (name, spec.name, spec.n, spec.m, spec.seed,
                         machine, device.name if with_gpu else None,
                         with_gpu)
-    if memo:
-        row = _CACHE.get(key)
-        if row is not None:
-            return row
-    result, cpu = run_cpu_workload(name, spec, machine=machine)
-    row = Row(workload=name, dataset=spec.name,
-              ctype=WORKLOADS[name].CTYPE, cpu=cpu, result=result)
-    if with_gpu and name in GPU_WORKLOAD_SET:
-        outputs, gpu = run_gpu_workload(name, spec, device=device,
-                                        **_gpu_params(name, spec))
-        row.gpu = gpu
-        row.extras["gpu_outputs_keys"] = sorted(outputs)
-    if memo:
-        _CACHE.put(key, row)
-    return row
+    with maybe_span(tracer, f"characterize:{name}:{spec.name}",
+                    workload=name, dataset=spec.name,
+                    n=spec.n, m=spec.m) as span_args:
+        if memo:
+            row = _CACHE.get(key)
+            if row is not None:
+                span_args["served"] = "memo"
+                return row
+        span_args["served"] = "computed"
+        with maybe_span(tracer, f"cpu:{name}", workload=name):
+            result, cpu = run_cpu_workload(name, spec, machine=machine)
+        row = Row(workload=name, dataset=spec.name,
+                  ctype=WORKLOADS[name].CTYPE, cpu=cpu, result=result)
+        if with_gpu and name in GPU_WORKLOAD_SET:
+            with maybe_span(tracer, f"gpu:{name}", workload=name):
+                outputs, gpu = run_gpu_workload(name, spec, device=device,
+                                                **_gpu_params(name, spec))
+            row.gpu = gpu
+            row.extras["gpu_outputs_keys"] = sorted(outputs)
+        if memo:
+            _CACHE.put(key, row)
+        return row
 
 
 def gpu_speedup(row: Row, *, machine: MachineConfig = SCALED_XEON,

@@ -1,0 +1,83 @@
+"""Structured logging: per-subsystem loggers, optional JSON lines.
+
+Every runtime layer logs through ``repro.<subsystem>`` loggers obtained
+from :func:`get_logger`; :func:`setup_logging` configures the shared
+``repro`` root once (idempotently — re-running replaces the handler it
+installed, never stacks duplicates and never touches handlers installed
+by embedding applications).
+
+Two output modes, selected by the CLI's ``--log-json`` flag:
+
+* human: ``2026-08-07 09:01:02 W repro.service.server: worker crashed``
+* JSON lines: one object per record with ``ts``/``level``/``logger``/
+  ``msg`` plus any ``extra={...}`` fields the call site attached —
+  machine-parseable the same way the checkpoint journal and the wire
+  protocol are.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+#: LogRecord attributes that are plumbing, not payload — anything else
+#: on a record (i.e. ``extra=`` fields) is emitted as structured data.
+_RESERVED = frozenset(vars(logging.LogRecord(
+    "", 0, "", 0, "", (), None))) | {"message", "asctime", "taskName"}
+
+_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra=`` fields ride along."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """The logger for one subsystem (``service.server``, ``resilience``,
+    ``harness`` ...) under the shared ``repro`` root."""
+    return logging.getLogger(f"repro.{subsystem}")
+
+
+def setup_logging(level: str = "warning", *, json_mode: bool = False,
+                  stream: TextIO | None = None) -> logging.Logger:
+    """Configure the ``repro`` logging root; returns it.
+
+    Idempotent: the handler this function installed previously (tagged)
+    is replaced, so calling twice — or once per test — never duplicates
+    output.  Handlers installed by anyone else are left alone.
+    """
+    if level.lower() not in _LEVELS:
+        raise ValueError(f"unknown log level {level!r}; "
+                         f"choose from {', '.join(_LEVELS)}")
+    root = logging.getLogger("repro")
+    root.setLevel(level.upper())
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_obs = True                       # type: ignore[attr-defined]
+    if json_mode:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname).1s %(name)s: %(message)s",
+            datefmt="%Y-%m-%d %H:%M:%S"))
+    root.addHandler(handler)
+    root.propagate = False
+    return root

@@ -30,6 +30,7 @@ from ..core.errors import (
     CellOOM,
     CellTimeout,
 )
+from ..obs.tracing import maybe_span
 from .cell import Cell, row_to_record, run_cell
 from .chaos import ChaosSpec, corrupt_payload, inject_pre_run
 from .retry import RetryPolicy, run_with_retries
@@ -167,20 +168,26 @@ def run_cell_inline(cell: Cell, *, chaos: ChaosSpec | None = None,
 
 def run_cell_resilient(cell: Cell, *, config: ExecutorConfig,
                        chaos: ChaosSpec | None = None,
-                       sleep=time.sleep) -> tuple[dict, int]:
+                       sleep=time.sleep,
+                       tracer=None) -> tuple[dict, int]:
     """Run one cell under the full policy: isolation + timeout + retries.
 
     Returns ``(record, attempts)``; raises
     :class:`~repro.core.errors.RetriesExhausted` when every attempt failed.
+    With a ``tracer`` (or an installed global tracer) every attempt is a
+    span — a failed attempt carries ``error=<exception type>`` — nesting
+    under whatever span the caller (the matrix driver) holds open.
     """
     def one(attempt: int) -> dict:
-        if config.isolation == "inline":
-            return run_cell_inline(cell, chaos=chaos, attempt=attempt,
-                                   timeout_s=config.timeout_s)
-        return run_cell_once(cell, timeout_s=config.timeout_s,
-                             chaos=chaos, attempt=attempt,
-                             mp_start_method=config.mp_start_method,
-                             kill_grace_s=config.kill_grace_s)
+        with maybe_span(tracer, f"attempt:{attempt}",
+                        cell=cell.cell_id, attempt=attempt):
+            if config.isolation == "inline":
+                return run_cell_inline(cell, chaos=chaos, attempt=attempt,
+                                       timeout_s=config.timeout_s)
+            return run_cell_once(cell, timeout_s=config.timeout_s,
+                                 chaos=chaos, attempt=attempt,
+                                 mp_start_method=config.mp_start_method,
+                                 kill_grace_s=config.kill_grace_s)
 
     record, attempts = run_with_retries(one, config.policy, cell.cell_id,
                                         sleep=sleep)

@@ -18,10 +18,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..core.errors import CellExecutionError, RetriesExhausted
+from ..obs.logs import get_logger
+from ..obs.tracing import maybe_span
 from .cell import Cell, failure_record, record_to_row
 from .chaos import ChaosSpec
 from .checkpoint import CheckpointStore
 from .executor import ExecutorConfig, run_cell_resilient
+
+log = get_logger("resilience.matrix")
 
 
 @dataclass(frozen=True)
@@ -94,13 +98,21 @@ def run_matrix(cells: Sequence[Cell], *,
                checkpoint: CheckpointStore | None = None,
                resume: bool = False,
                sleep: Callable[[float], None] = time.sleep,
-               progress: Callable[[str], None] | None = None
-               ) -> MatrixResult:
+               progress: Callable[[str], None] | None = None,
+               tracer=None,
+               registry=None) -> MatrixResult:
     """Run every cell resiliently; never lose the sweep to one cell.
 
     ``resume`` requires a ``checkpoint``; without ``resume`` an existing
     journal is restarted from scratch.  ``progress`` (if given) receives a
     one-line status per cell.
+
+    With a ``tracer`` (:class:`~repro.obs.SpanTracer`) each executed cell
+    becomes a ``cell:<id>`` span whose children are its ``attempt:<n>``
+    retries — export via ``to_chrome_trace()`` to see where a sweep's
+    wall-time went.  With a ``registry``
+    (:class:`~repro.obs.MetricsRegistry`) the sweep counts outcomes,
+    retries, and failures by taxonomy kind.
     """
     config = config or ExecutorConfig()
     if resume and checkpoint is None:
@@ -112,23 +124,52 @@ def run_matrix(cells: Sequence[Cell], *,
         else:
             checkpoint.clear()
 
+    m_cells = m_retries = m_faults = None
+    if registry is not None:
+        m_cells = registry.counter(
+            "matrix_cells_total", "sweep cells by outcome",
+            labels=("outcome",))
+        m_retries = registry.counter(
+            "matrix_retries_total",
+            "extra attempts beyond the first, across all cells")
+        m_faults = registry.counter(
+            "matrix_faults_total", "cell failures by taxonomy kind "
+            "(every failed attempt's final classification)",
+            labels=("kind",))
+
     result = MatrixResult()
     for cell in cells:
         prior = done.get(cell.cell_id)
         if prior is not None and prior.get("kind") == "row":
             result.rows.append(_labelled(record_to_row(prior), cell))
             result.resumed += 1
+            if m_cells is not None:
+                m_cells.labels(outcome="resumed").inc()
             if progress:
                 progress(f"{cell.cell_id}: resumed from checkpoint")
             continue
         try:
-            record, attempts = run_cell_resilient(
-                cell, config=config, chaos=chaos, sleep=sleep)
+            with maybe_span(tracer, f"cell:{cell.cell_id}",
+                            workload=cell.workload, dataset=cell.dataset,
+                            machine=cell.machine) as span_args:
+                record, attempts = run_cell_resilient(
+                    cell, config=config, chaos=chaos, sleep=sleep,
+                    tracer=tracer)
+                span_args["attempts"] = attempts
         except (RetriesExhausted, CellExecutionError) as e:
             attempts = getattr(e, "attempts", 1)
             failure = CellFailure.from_error(cell, e, attempts)
             result.failures.append(failure)
             result.executed += 1
+            if m_cells is not None:
+                m_cells.labels(outcome="failed").inc()
+                m_retries.inc(max(0, attempts - 1))
+                m_faults.labels(kind=failure.kind).inc()
+            log.warning("cell %s failed (%s) after %d attempt(s)",
+                        cell.cell_id, failure.kind, attempts,
+                        extra={"cell": cell.cell_id,
+                               "failure_kind": failure.kind,
+                               "attempts": attempts})
             if checkpoint is not None:
                 checkpoint.append(failure_record(cell, e, attempts=attempts))
             if progress:
@@ -137,6 +178,9 @@ def run_matrix(cells: Sequence[Cell], *,
             continue
         result.rows.append(_labelled(record_to_row(record), cell))
         result.executed += 1
+        if m_cells is not None:
+            m_cells.labels(outcome="ok").inc()
+            m_retries.inc(max(0, attempts - 1))
         if checkpoint is not None:
             checkpoint.append(record)
         if progress:

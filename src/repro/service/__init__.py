@@ -35,6 +35,7 @@ from ..core.errors import (
 from .cache import CacheStats, CacheTiers, LRUCache, dataset_key, row_key
 from .client import DEFAULT_PORT, ServiceClient
 from .loadgen import (
+    CONNECTION_FAILURE_KIND,
     LoadGenerator,
     LoadReport,
     Query,
@@ -66,7 +67,8 @@ from .server import (
 )
 
 __all__ = [
-    "AdmissionRejected", "BadRequest", "CacheStats", "CacheTiers",
+    "AdmissionRejected", "BadRequest", "CONNECTION_FAILURE_KIND",
+    "CacheStats", "CacheTiers",
     "DEFAULT_PORT", "GraphService", "LRUCache", "LoadGenerator",
     "LoadReport", "MAX_FRAME_BYTES", "OPS", "PROTOCOL_VERSION",
     "PoolConfig", "PoolStats", "ProtocolError", "Query", "RemoteError",

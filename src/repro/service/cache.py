@@ -168,3 +168,40 @@ class CacheTiers:
     def clear(self) -> None:
         self.datasets.clear()
         self.rows.clear()
+
+    # -- observability -------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Expose both tiers on a :class:`~repro.obs.MetricsRegistry`.
+
+        Registered as a snapshot-time *collector*: :class:`CacheStats`
+        stays the source of truth (its dict shape and the hot-path
+        ``+= 1`` increments are untouched) and the registry reads it only
+        when scraped — migration without a second set of counters to keep
+        consistent.
+        """
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> dict:
+        events = []
+        sizes = []
+        for tier, cache in (("datasets", self.datasets),
+                            ("rows", self.rows)):
+            for event, value in cache.stats.as_dict().items():
+                if event == "hit_rate":      # derivable; not a counter
+                    continue
+                events.append({"labels": {"tier": tier, "event": event},
+                               "value": float(value)})
+            sizes.append({"labels": {"tier": tier},
+                          "value": float(len(cache))})
+        return {
+            "cache_events_total": {
+                "type": "counter",
+                "help": "cache tier lifecycle events "
+                        "(hits/misses/inserts/evictions/expirations)",
+                "samples": events},
+            "cache_entries": {
+                "type": "gauge",
+                "help": "live entries per cache tier",
+                "samples": sizes},
+        }

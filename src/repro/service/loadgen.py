@@ -8,9 +8,16 @@ schedule is a deterministic function of the seed: a seeded RNG draws from
 the query mix, so a duplicate-heavy mix (few distinct queries, many
 requests) exercises the coalescing and cache tiers reproducibly.
 
-Latency percentiles use the nearest-rank definition: ``p(q)`` is the
-smallest observed latency such that at least ``q`` percent of samples are
-at or below it — an actual observation, never an interpolated value.
+Latency percentiles use the nearest-rank definition (shared with the
+observability histograms — :func:`repro.obs.metrics.percentile`):
+``p(q)`` is the smallest observed latency such that at least ``q``
+percent of samples are at or below it — an actual observation, never an
+interpolated value.
+
+A worker whose connection dies mid-run (reset, refused, EOF) records the
+failure under the ``connection`` kind, reconnects, and keeps draining the
+plan — a dropped socket costs one request, never a worker thread and the
+plan's remaining share.
 """
 
 from __future__ import annotations
@@ -19,10 +26,16 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from ..core.errors import GraphError
+from ..obs.metrics import percentile
+from ..obs.tracing import SpanTracer, maybe_span
 from .client import ServiceClient
+
+#: Failure-kind tag for transport-level errors (dropped/refused/reset
+#: connections) — distinct from every server-reported taxonomy kind.
+CONNECTION_FAILURE_KIND = "connection"
 
 
 @dataclass(frozen=True)
@@ -56,16 +69,6 @@ def schedule(mix: Sequence[Query], n_requests: int,
         raise ValueError("query mix is empty")
     rng = random.Random(f"loadgen:{seed}")
     return [mix[rng.randrange(len(mix))] for _ in range(n_requests)]
-
-
-def percentile(sorted_samples: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile over an ascending-sorted sample list."""
-    if not sorted_samples:
-        return float("nan")
-    if not 0 < q <= 100:
-        raise ValueError("q must be in (0, 100]")
-    rank = max(1, -(-len(sorted_samples) * q // 100))   # ceil
-    return sorted_samples[int(rank) - 1]
 
 
 @dataclass
@@ -118,16 +121,27 @@ class LoadReport:
 
 
 class LoadGenerator:
-    """Closed-loop driver: N workers, one connection each."""
+    """Closed-loop driver: N workers, one connection each.
+
+    ``client_factory`` is injectable for tests (fault simulation without
+    a real socket); ``tracer`` records one span per request
+    (``request:<op>``, tagged with how it was served or why it failed).
+    """
 
     def __init__(self, host: str, port: int, *, concurrency: int = 8,
-                 timeout_s: float = 300.0):
+                 timeout_s: float = 300.0,
+                 client_factory: Callable[[], ServiceClient] | None = None,
+                 tracer: SpanTracer | None = None):
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
         self.host = host
         self.port = port
         self.concurrency = concurrency
         self.timeout_s = timeout_s
+        self.tracer = tracer
+        self._make_client = client_factory or (
+            lambda: ServiceClient(self.host, self.port,
+                                  timeout_s=self.timeout_s))
 
     def run(self, plan: Sequence[Query]) -> LoadReport:
         """Issue every request in ``plan`` across the worker pool."""
@@ -139,29 +153,48 @@ class LoadGenerator:
         ok_count = [0]
         fail_count = [0]
 
+        def record_failure(kind: str) -> None:
+            with lock:
+                fail_count[0] += 1
+                failures[kind] = failures.get(kind, 0) + 1
+
         def worker() -> None:
-            with ServiceClient(self.host, self.port,
-                               timeout_s=self.timeout_s) as client:
+            client = self._make_client()
+            try:
                 while True:
                     with lock:
                         query = next(cursor, None)
                     if query is None:
                         return
                     t0 = time.perf_counter()
-                    try:
-                        result = client.request(query.op, **query.params)
-                    except GraphError as e:
-                        kind = getattr(e, "kind", "internal")
-                        with lock:
-                            fail_count[0] += 1
-                            failures[kind] = failures.get(kind, 0) + 1
-                        continue
+                    with maybe_span(self.tracer, f"request:{query.op}",
+                                    **query.params) as span_args:
+                        try:
+                            result = client.request(query.op,
+                                                    **query.params)
+                        except GraphError as e:
+                            kind = getattr(e, "kind", "internal")
+                            span_args["failed"] = kind
+                            record_failure(kind)
+                            continue
+                        except OSError:
+                            # dropped/refused/reset connection: the
+                            # request failed, the worker must not — count
+                            # it and reconnect for the rest of the plan
+                            span_args["failed"] = CONNECTION_FAILURE_KIND
+                            record_failure(CONNECTION_FAILURE_KIND)
+                            client.close()
+                            client = self._make_client()
+                            continue
+                        how = (result or {}).get("served") or "unknown"
+                        span_args["served"] = how
                     dt_ms = (time.perf_counter() - t0) * 1e3
-                    how = (result or {}).get("served") or "unknown"
                     with lock:
                         ok_count[0] += 1
                         latencies.append(dt_ms)
                         served[how] = served.get(how, 0) + 1
+            finally:
+                client.close()
 
         threads = [threading.Thread(target=worker, daemon=True,
                                     name=f"loadgen-{i}")

@@ -20,15 +20,25 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..core.errors import CellExecutionError, CellOOM, CellCrash, CellTimeout
+from ..obs.logs import get_logger
 from ..resilience.cell import Cell, row_to_record
 from ..resilience.chaos import ChaosSpec, corrupt_payload
 from ..resilience.executor import ExecutorConfig, run_cell_resilient
 from ..resilience.retry import RetryPolicy, run_with_retries
 from .cache import CacheTiers, dataset_key
+
+log = get_logger("service.pool")
+
+#: Failure kinds that mean the worker process itself died (or was
+#: killed) and the next request pays a fresh-worker spawn — the
+#: "worker restart" signal a capacity planner watches.
+_RESTART_KINDS = frozenset({"crash", "timeout", "oom",
+                            "retries-exhausted"})
 
 
 @dataclass(frozen=True)
@@ -55,10 +65,12 @@ class PoolStats:
 
     executed: int = 0
     failed: int = 0
+    worker_restarts: int = 0     # failures that killed the worker itself
     failures_by_kind: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {"executed": self.executed, "failed": self.failed,
+                "worker_restarts": self.worker_restarts,
                 "failures_by_kind": dict(self.failures_by_kind)}
 
 
@@ -82,13 +94,48 @@ class WorkerPool:
         self.memoize = memoize
         self.stats = PoolStats()
         self._lock = threading.Lock()
+        self._m_wall = None          # bound by bind_metrics()
         self._tpe = ThreadPoolExecutor(
             max_workers=self.config.size,
             thread_name_prefix="repro-pool")
 
+    # -- observability -------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Expose execution counters (collector over :class:`PoolStats`)
+        and a subprocess wall-time histogram on a registry."""
+        self._m_wall = registry.histogram(
+            "pool_exec_wall_time_ms",
+            "wall-clock time one cell spent on a pool slot (ms), "
+            "by outcome", labels=("outcome",))
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> dict:
+        with self._lock:
+            executed = self.stats.executed
+            restarts = self.stats.worker_restarts
+            by_kind = dict(self.stats.failures_by_kind)
+        return {
+            "pool_executions_total": {
+                "type": "counter",
+                "help": "cells executed to completion on the pool",
+                "samples": [{"labels": {}, "value": float(executed)}]},
+            "pool_worker_restarts_total": {
+                "type": "counter",
+                "help": "failures that killed the worker "
+                        "(crash/timeout/oom): next request pays a spawn",
+                "samples": [{"labels": {}, "value": float(restarts)}]},
+            "pool_failures_total": {
+                "type": "counter",
+                "help": "failed executions by taxonomy kind",
+                "samples": [{"labels": {"kind": k}, "value": float(v)}
+                            for k, v in sorted(by_kind.items())]},
+        }
+
     async def run_record(self, cell: Cell) -> dict:
         """Execute one cell on a pool slot; raise typed errors on failure."""
         loop = asyncio.get_running_loop()
+        t0 = time.perf_counter()
         try:
             record = await loop.run_in_executor(
                 self._tpe, self._run_sync, cell)
@@ -96,11 +143,22 @@ class WorkerPool:
             last = getattr(e, "last", e)
             with self._lock:
                 self.stats.failed += 1
+                if last.kind in _RESTART_KINDS or e.kind in _RESTART_KINDS:
+                    self.stats.worker_restarts += 1
                 self.stats.failures_by_kind[last.kind] = \
                     self.stats.failures_by_kind.get(last.kind, 0) + 1
+            if self._m_wall is not None:
+                self._m_wall.labels(outcome="failed").observe(
+                    (time.perf_counter() - t0) * 1e3)
+            log.warning("cell %s failed on pool slot: %s: %s",
+                        cell.cell_id, last.kind, last,
+                        extra={"cell": cell.cell_id, "kind": last.kind})
             raise
         with self._lock:
             self.stats.executed += 1
+        if self._m_wall is not None:
+            self._m_wall.labels(outcome="ok").observe(
+                (time.perf_counter() - t0) * 1e3)
         return record
 
     def shutdown(self) -> None:

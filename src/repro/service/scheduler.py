@@ -26,12 +26,15 @@ pool handoff and the batch window, so the bookkeeping needs no locks.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.errors import AdmissionRejected, CellExecutionError
+from ..obs.logs import get_logger
 from ..resilience.cell import Cell
 from .cache import CacheTiers, row_key
 from .pool import WorkerPool
+
+log = get_logger("service.scheduler")
 
 
 @dataclass(frozen=True)
@@ -110,6 +113,31 @@ class Scheduler:
         """Distinct executions currently queued or running."""
         return self._pending
 
+    # -- observability -------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Expose queue depth and traffic counters on a registry.
+
+        The queue-depth gauge is a callback (read at scrape time); the
+        counters are a collector over :class:`SchedulerStats` — the
+        dispatch hot path gains no new writes.
+        """
+        registry.gauge(
+            "scheduler_pending",
+            "distinct executions queued or running (queue depth)",
+            callback=lambda: float(self._pending))
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> dict:
+        return {
+            "scheduler_requests_total": {
+                "type": "counter",
+                "help": "scheduler outcomes (cache_hits/coalesced/"
+                        "executed/rejected/failed/submitted)",
+                "samples": [{"labels": {"outcome": k}, "value": float(v)}
+                            for k, v in self.stats.as_dict().items()]},
+        }
+
     async def submit(self, cell: Cell) -> dict:
         """Resolve one request: cache tier, coalesce, or execute.
 
@@ -132,6 +160,9 @@ class Scheduler:
             return record
         if self._pending >= self.config.max_pending:
             self.stats.rejected += 1
+            log.warning("admission rejected %s (%d/%d pending)",
+                        key, self._pending, self.config.max_pending,
+                        extra={"cell": key, "pending": self._pending})
             raise AdmissionRejected(self._pending, self.config.max_pending)
         batch = _Batch(cell)
         self._inflight[key] = batch
@@ -154,6 +185,9 @@ class Scheduler:
             self.stats.failed += 1
             self._inflight.pop(key, None)
             self._pending -= 1
+            log.warning("execution failed for %s: %s", key, e,
+                        extra={"cell": key,
+                               "kind": getattr(e, "kind", "internal")})
             batch.fail(e)
             if not isinstance(e, (CellExecutionError, Exception)):
                 raise          # CancelledError etc.: propagate after fanning

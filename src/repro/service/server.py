@@ -28,10 +28,13 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from typing import Any
 
 from .. import __version__
 from ..core.errors import BadRequest, ProtocolError
+from ..obs.logs import get_logger
+from ..obs.metrics import MetricsRegistry
 from ..resilience.cell import MACHINES, Cell
 from ..resilience.chaos import ChaosSpec
 from .cache import CacheTiers
@@ -46,6 +49,8 @@ from .protocol import (
     parse_request,
 )
 from .scheduler import Scheduler, SchedulerConfig
+
+log = get_logger("service.server")
 
 #: Parameters a run/characterize request may carry (typo protection: an
 #: unknown key is a bad request, not a silently-ignored knob).
@@ -113,7 +118,8 @@ class GraphService:
     def __init__(self, *, pool_config: PoolConfig | None = None,
                  scheduler_config: SchedulerConfig | None = None,
                  caches: CacheTiers | None = None,
-                 chaos: ChaosSpec | None = None):
+                 chaos: ChaosSpec | None = None,
+                 registry: MetricsRegistry | None = None):
         self.scheduler_config = scheduler_config or SchedulerConfig()
         self.caches = caches if caches is not None else CacheTiers.build()
         self.pool = WorkerPool(pool_config, chaos=chaos,
@@ -127,6 +133,60 @@ class GraphService:
         self._server: asyncio.AbstractServer | None = None
         self.host: str | None = None
         self.port: int | None = None
+        # one registry per serving instance: every layer binds onto it,
+        # and the `stats` op / Prometheus scrape read one snapshot
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        reg = self.registry
+        self._m_err = reg.counter(
+            "service_errors_total",
+            "error responses, by op and taxonomy kind",
+            labels=("op", "kind"))
+        self._m_lat = reg.histogram(
+            "service_request_latency_ms",
+            "request handling latency (ms), by op", labels=("op",))
+        # .labels() with no arguments resolves an unlabeled family to its
+        # sole child, skipping the proxy indirection on every increment
+        self._m_rx = reg.counter(
+            "service_bytes_received_total",
+            "request bytes read (flushed when a connection "
+            "closes)").labels()
+        self._m_tx = reg.counter(
+            "service_bytes_sent_total",
+            "response bytes written (flushed when a connection "
+            "closes)").labels()
+        self._m_conn = reg.counter(
+            "service_connections_total", "connections accepted")
+        self._m_conn_active = reg.gauge(
+            "service_connections_active", "currently open connections")
+        # resolved per-op histogram children, cached off the hot path
+        # (the op set is bounded: the validated OPS plus "_frame")
+        self._op_children: dict[str, Any] = {}
+        # every request observes exactly one latency sample, so the
+        # request counter is the histogram's per-op count — derived at
+        # snapshot time instead of paying a second locked increment
+        reg.register_collector(self._collect_requests)
+        self.caches.bind_metrics(reg)
+        self.scheduler.bind_metrics(reg)
+        self.pool.bind_metrics(reg)
+
+    def _op_latency(self, op: str):
+        """The latency-histogram child for ``op``, cached."""
+        child = self._op_children.get(op)
+        if child is None:
+            child = self._m_lat.labels(op=op)
+            self._op_children[op] = child
+        return child
+
+    def _collect_requests(self) -> dict[str, Any]:
+        samples = [{"labels": s["labels"], "value": float(s["count"])}
+                   for s in self._m_lat.snapshot()["samples"]]
+        return {"service_requests_total": {
+            "type": "counter",
+            "help": "requests received, by op (every request lands one "
+                    "latency observation; unparseable frames count "
+                    "under op=\"_frame\")",
+            "samples": samples}}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -160,35 +220,64 @@ class GraphService:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         self.connections += 1
+        self._m_conn.inc()
+        self._m_conn_active.inc()
+        log.debug("connection opened (%d open)", self.connections)
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
+        # byte counts accumulate in locals and flush to the registry once
+        # at connection close: the counters stay exact without paying two
+        # locked increments per request on the hot path
+        rx = tx = 0
+
+        def send(data: bytes) -> None:
+            nonlocal tx
+            writer.write(data)
+            tx += len(data)
+
         try:
             while True:
                 try:
                     line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
-                    writer.write(encode_error(
+                    self._m_err.labels(op="_frame",
+                                       kind=ProtocolError.kind).inc()
+                    send(encode_error(
                         None, ProtocolError("frame exceeds size limit")))
                     await writer.drain()
                     break
                 if not line:
                     break                      # clean EOF between frames
+                rx += len(line)
                 if not line.endswith(b"\n"):
                     # EOF mid-frame: the peer died mid-write
-                    writer.write(encode_error(
+                    self._m_err.labels(op="_frame",
+                                       kind=ProtocolError.kind).inc()
+                    send(encode_error(
                         None, ProtocolError("truncated frame at EOF")))
                     await writer.drain()
                     break
                 req_id: str | None = None
+                op = "_frame"                  # until the frame parses
+                t0 = time.perf_counter()
                 try:
                     req = parse_request(decode_frame(line))
                     req_id = req.id
+                    op = req.op
                     result = await self._dispatch(req)
-                    writer.write(encode_response(req_id, result))
+                    send(encode_response(req_id, result))
                 except Exception as e:  # noqa: BLE001 — typed onto the wire
-                    writer.write(encode_error(req_id, e))
+                    kind = getattr(e, "kind", None)
+                    self._m_err.labels(
+                        op=op,
+                        kind=kind if isinstance(kind, str)
+                        else "internal").inc()
+                    send(encode_error(req_id, e))
+                finally:
+                    self._op_latency(op).observe(
+                        (time.perf_counter() - t0) * 1e3)
                 await writer.drain()
         except ConnectionError:
             pass                               # peer vanished mid-response
@@ -197,6 +286,10 @@ class GraphService:
             # (3.11's stream callback logs tasks that die cancelled)
             pass
         finally:
+            self._m_rx.inc(rx)
+            self._m_tx.inc(tx)
+            self._m_conn_active.dec()
+            log.debug("connection closed")
             writer.close()
             try:
                 await writer.wait_closed()
@@ -232,9 +325,11 @@ class GraphService:
                 "server": __version__,
                 "connections": self.connections,
                 "ops": dict(self.op_counts),
-                "scheduler": self.scheduler.stats.as_dict(),
+                "scheduler": dict(self.scheduler.stats.as_dict(),
+                                  pending=self.scheduler.pending),
                 "pool": self.pool.stats.as_dict(),
-                "cache": self.caches.stats()}
+                "cache": self.caches.stats(),
+                "metrics": self.registry.snapshot()}
 
 
 class ServiceThread:

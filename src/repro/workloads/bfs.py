@@ -12,7 +12,7 @@ from typing import Any
 
 from ..core.graph import PropertyGraph
 from ..core.taxonomy import ComputationType, WorkloadCategory
-from .base import NullTracer, TracedQueue, Workload
+from .base import TracedQueue, Workload
 
 
 class BFS(Workload):

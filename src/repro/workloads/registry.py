@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core.graph import PropertyGraph
-from ..core.taxonomy import ComputationType, WorkloadCategory
+from ..core.taxonomy import ComputationType
 from ..core.trace import Tracer
 from .base import Workload, WorkloadResult
 from .bcentr import BCentr

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.errors import VertexNotFound
-from repro.datagen import ldbc
 from repro.workloads import common_edge_schema, common_vertex_schema
 from tests.conftest import build
 

@@ -2,7 +2,6 @@
 
 import hypothesis.strategies as st
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro import workloads as W

@@ -2,7 +2,6 @@
 isolated graphs — the corners a downstream user will hit first."""
 
 import numpy as np
-import pytest
 
 from repro import workloads as W
 from repro.core.graph import PropertyGraph

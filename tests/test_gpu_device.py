@@ -1,6 +1,5 @@
 """Unit tests for the GPU device timing model and populate step."""
 
-import numpy as np
 import pytest
 
 from repro.core.graph import PropertyGraph

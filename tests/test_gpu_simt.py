@@ -5,7 +5,6 @@ import pytest
 
 from repro.gpu.simt import (
     SEGMENT,
-    WARP_SIZE,
     KernelAccum,
     KernelStats,
     slots_for_loop,

@@ -7,7 +7,6 @@ from repro.datagen import ldbc
 from repro.harness import (
     CPU_WORKLOADS,
     DATA_SENSITIVE_WORKLOADS,
-    GPU_WORKLOAD_SET,
     average_fraction,
     breakdown_table,
     by_ctype,

@@ -8,7 +8,7 @@ from repro.bayes import munin_like
 from repro.core.taxonomy import ComputationType
 from repro.datagen import ca_road, ldbc
 from repro.gpu import run_gpu_workload
-from repro.harness import by_ctype, characterize, clear_cache, gpu_speedup
+from repro.harness import characterize, clear_cache, gpu_speedup
 
 
 @pytest.fixture(scope="module")

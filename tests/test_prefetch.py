@@ -1,7 +1,6 @@
 """Tests for the prefetcher models."""
 
 import numpy as np
-import pytest
 
 from repro.arch.cache import CacheConfig
 from repro.arch.prefetch import (

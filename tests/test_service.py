@@ -15,7 +15,6 @@ from repro.core.errors import (
     AdmissionRejected,
     BadRequest,
     CellCrash,
-    CellExecutionError,
     ProtocolError,
     RemoteError,
     RetriesExhausted,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.arch import MemoryHierarchy
 from repro.arch.machine import TEST_MACHINE
-from repro.core import trace as T
 from repro.core.trace import Tracer
 from repro.parallel.trace_sim import (
     MulticoreCacheResult,

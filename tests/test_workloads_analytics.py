@@ -1,11 +1,9 @@
 """Correctness tests for the analytics and social workloads."""
 
-import numpy as np
 import pytest
 
 from repro import workloads as W
-from repro.core.trace import Tracer
-from repro.datagen import ca_road, ldbc, watson_gene
+from repro.datagen import ca_road, watson_gene
 from tests.conftest import build
 
 

@@ -7,7 +7,6 @@ from repro import workloads as W
 from repro.bayes import gibbs_sample, moral_edges, munin_like
 from repro.core.graph import PropertyGraph
 from repro.core.trace import Tracer
-from repro.datagen import ldbc
 from repro.workloads import (
     build_bn_graph,
     common_edge_schema,

@@ -5,7 +5,6 @@ import numpy as np
 from hypothesis import given, settings
 
 from repro import workloads as W
-from repro.core.graph import PropertyGraph
 from repro.datagen import GraphSpec
 from repro.core.taxonomy import DataSource
 from repro.workloads import common_edge_schema, common_vertex_schema
