@@ -18,6 +18,11 @@ Examples::
     python -m repro --log-level info --log-json serve
     python -m repro matrix --scale 0.05 --chaos-rate 0.2 \\
         --trace-out trace.json   # open in about:tracing
+    python -m repro cluster serve --shards 4 --replication 2
+    python -m repro cluster query run BFS --dataset roadnet --scale 0.05
+    python -m repro cluster loadgen --spawn --shards 4 --requests 200 \\
+        --dataset-skew 1.2
+    python -m repro cluster plan --shards 4 --add shard-4 --synthetic 2000
 """
 
 from __future__ import annotations
@@ -284,17 +289,25 @@ def cmd_query(args) -> int:
 def cmd_loadgen(args) -> int:
     from .obs import SpanTracer
     from .service import LoadGenerator, ServiceThread, schedule, workload_mix
+    from .service.loadgen import plan_imbalance
 
     mix = workload_mix(tuple(args.workloads.split(",")),
                        tuple(args.datasets.split(",")),
                        scale=args.scale, seeds=args.seeds, op=args.op)
-    plan = schedule(mix, args.requests, seed=args.seed)
+    skew = getattr(args, "dataset_skew", 0.0)
+    plan = schedule(mix, args.requests, seed=args.seed,
+                    dataset_skew=skew)
     tracer = SpanTracer() if args.trace_out else None
     gen_args = dict(concurrency=args.concurrency, timeout_s=args.timeout,
                     tracer=tracer)
     if not args.json:
         print(f"loadgen: {args.requests} requests over {len(mix)} "
-              f"distinct queries, {args.concurrency} closed-loop workers")
+              f"distinct queries, {args.concurrency} closed-loop workers"
+              + (f", dataset skew {skew:g}" if skew > 0 else ""))
+        if "," in args.datasets:
+            imb = plan_imbalance(plan, lambda d: d)
+            print(f"plan: per-dataset load imbalance {imb:.2f}x "
+                  "(max/mean; 1.0 = uniform)")
     if args.spawn:
         service = _build_service(args)
         with ServiceThread(service) as st:
@@ -376,6 +389,165 @@ def cmd_stats(args) -> int:
         print(f"latency/{op:12s} n={sample['count']:<6d} "
               f"p50<={p50:g}ms p95<={p95:g}ms p99<={p99:g}ms")
     return 0
+
+
+def _cluster_spec(args):
+    from .cluster import ClusterSpec
+    datasets = (tuple(args.datasets.split(","))
+                if getattr(args, "datasets", None) else ())
+    return ClusterSpec.of(args.shards, replication=args.replication,
+                          vnodes=args.vnodes, datasets=datasets)
+
+
+def cmd_cluster_serve(args) -> int:
+    import time
+
+    from .cluster import ClusterProcesses, ClusterThread
+
+    spec = _cluster_spec(args)
+    harness_cls = ClusterProcesses if args.processes else ClusterThread
+    kwargs = dict(host=args.host, port=args.port)
+    if args.processes:
+        kwargs["isolation"] = args.isolation
+    with harness_cls(spec, **kwargs) as cluster:
+        print(f"cluster router listening on {args.host}:"
+              f"{cluster.router_port} ({args.shards} shards, "
+              f"replication {args.replication}, "
+              f"{'process' if args.processes else 'thread'} shards)")
+        for name, owned in sorted(cluster.assignment.items()):
+            addr = (cluster.addresses[name]
+                    if not args.processes
+                    else cluster.shards[name].address)
+            print(f"  {name:10s} {addr.host}:{addr.port:<6d} "
+                  f"owns {', '.join(owned) or '(nothing)'}")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nshutting down cluster")
+    return 0
+
+
+def cmd_cluster_shard(args) -> int:
+    import asyncio
+
+    from .cluster import ShardService
+    from .service import PoolConfig
+
+    datasets = (frozenset(args.datasets.split(","))
+                if args.datasets else None)
+    service = ShardService(
+        args.name, datasets,
+        pool_config=PoolConfig(size=args.workers,
+                               isolation=args.isolation))
+
+    async def _serve() -> None:
+        port = await service.start(args.host, args.port)
+        # the one ready line a parent process harness blocks on
+        print(json.dumps({"shard": args.name, "host": args.host,
+                          "port": port}), flush=True)
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_cluster_query(args) -> int:
+    # the router speaks the service protocol: the single-node query
+    # handler works verbatim, only the default port and op set differ
+    return cmd_query(args)
+
+
+def cmd_cluster_loadgen(args) -> int:
+    from .cluster import ClusterThread
+    from .service import LoadGenerator, schedule, workload_mix
+    from .service.loadgen import plan_imbalance
+
+    spec = _cluster_spec(args)
+    datasets = tuple(args.datasets.split(","))
+    mix = workload_mix(tuple(args.workloads.split(",")), datasets,
+                       scale=args.scale, seeds=args.seeds, op=args.op)
+    plan = schedule(mix, args.requests, seed=args.seed,
+                    dataset_skew=args.dataset_skew)
+    ring = spec.ring()
+    imb_ds = plan_imbalance(plan, lambda d: d)
+    imb_shard = plan_imbalance(plan, ring.owner)
+    if not args.json:
+        print(f"cluster loadgen: {args.requests} requests, "
+              f"{args.shards} shards, replication {args.replication}, "
+              f"dataset skew {args.dataset_skew:g}")
+        print(f"plan: imbalance {imb_ds:.2f}x across datasets, "
+              f"{imb_shard:.2f}x across shards (max/mean)")
+    gen_args = dict(concurrency=args.concurrency,
+                    timeout_s=args.timeout)
+    if args.spawn:
+        with ClusterThread(spec, host=args.host) as cluster:
+            report = LoadGenerator(args.host, cluster.router_port,
+                                   **gen_args).run(plan)
+    else:
+        try:
+            report = LoadGenerator(args.host, args.port,
+                                   **gen_args).run(plan)
+        except ConnectionRefusedError:
+            print(f"error: no router at {args.host}:{args.port} "
+                  "(start one with `python -m repro cluster serve`, "
+                  "or pass --spawn)", file=sys.stderr)
+            return 2
+    if args.json:
+        payload = report.summary()
+        payload["imbalance"] = {"datasets": round(imb_ds, 4),
+                                "shards": round(imb_shard, 4)}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    return 0 if report.failed == 0 else 1
+
+
+def cmd_cluster_plan(args) -> int:
+    from .cluster import HashRing, plan_rebalance, synthetic_keys
+    from .datagen.registry import REGISTRY
+
+    before_nodes = tuple(f"shard-{i}" for i in range(args.shards))
+    after_nodes = tuple(before_nodes) + tuple(
+        n for n in (args.add or []) if n not in before_nodes)
+    after_nodes = tuple(n for n in after_nodes
+                        if n not in set(args.remove or []))
+    if not after_nodes:
+        print("error: the change removes every shard", file=sys.stderr)
+        return 2
+    before = HashRing(before_nodes, vnodes=args.vnodes)
+    after = HashRing(after_nodes, vnodes=args.vnodes)
+    keys = (synthetic_keys(args.synthetic) if args.synthetic
+            else sorted(REGISTRY))
+    plan = plan_rebalance(before, after, keys)
+    if args.json:
+        print(json.dumps(plan.summary(), indent=2, sort_keys=True))
+        return 0
+    s = plan.summary()
+    print(f"rebalance: {len(before.nodes)} -> {len(after.nodes)} shards "
+          f"over {s['total_keys']} keys")
+    print(f"moved: {s['moved']} keys ({100 * s['fraction_moved']:.1f}% "
+          f"— a naive hash%N would move ~"
+          f"{100 * (1 - 1 / len(after.nodes)):.0f}%)")
+    for shard, counts in sorted(s["per_shard"].items()):
+        if counts["gained"] or counts["lost"]:
+            print(f"  {shard:10s} +{counts['gained']} -{counts['lost']}")
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    handler = {"serve": cmd_cluster_serve, "shard": cmd_cluster_shard,
+               "query": cmd_cluster_query,
+               "loadgen": cmd_cluster_loadgen, "plan": cmd_cluster_plan}
+    return handler[args.cluster_command](args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -550,6 +722,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="schedule RNG seed (default: 0)")
     lg.add_argument("--op", default="run",
                     choices=("run", "characterize"))
+    lg.add_argument("--dataset-skew", type=float, default=0.0,
+                    help="Zipf exponent over the dataset mix (0 = "
+                         "uniform); skews request volume toward the "
+                         "first-listed datasets")
     lg.add_argument("--json", action="store_true",
                     help="machine-readable report")
     lg.add_argument("--trace-out", default=None, metavar="FILE",
@@ -568,6 +744,112 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("table", "json", "prom"),
                     help="output: human table, full JSON stats, or "
                          "Prometheus text exposition (default: table)")
+
+    from .cluster.router import ROUTER_PORT
+
+    cl = sub.add_parser(
+        "cluster",
+        help="sharded cluster: hash-ring routing, replication with "
+             "failover, scatter-gather fan-out")
+    clsub = cl.add_subparsers(dest="cluster_command", required=True)
+
+    def add_cluster_shape(sp):
+        sp.add_argument("--shards", type=int, default=4,
+                        help="shard count (default: 4)")
+        sp.add_argument("--replication", type=int, default=1,
+                        help="replicas per dataset (default: 1)")
+        sp.add_argument("--vnodes", type=int, default=64,
+                        help="virtual nodes per shard on the ring "
+                             "(default: 64)")
+
+    cs = clsub.add_parser(
+        "serve", help="boot a full cluster (shards + router) and serve")
+    add_cluster_shape(cs)
+    cs.add_argument("--datasets", default=None,
+                    help="comma-separated dataset universe (default: "
+                         "the full registry)")
+    cs.add_argument("--host", default="127.0.0.1")
+    cs.add_argument("--port", type=int, default=ROUTER_PORT,
+                    help=f"router TCP port (default: {ROUTER_PORT}; "
+                         "0 picks a free one)")
+    cs.add_argument("--processes", action="store_true",
+                    help="run each shard as a child process instead of "
+                         "a thread")
+    cs.add_argument("--isolation", default="inline",
+                    choices=("process", "inline"),
+                    help="worker isolation inside each shard "
+                         "(default: inline)")
+
+    csh = clsub.add_parser(
+        "shard", help="serve one shard (used by `cluster serve "
+                      "--processes`; prints a ready JSON line)")
+    csh.add_argument("--name", required=True, help="shard id")
+    csh.add_argument("--datasets", default=None,
+                     help="comma-separated owned dataset keys "
+                          "(default: owns everything)")
+    csh.add_argument("--host", default="127.0.0.1")
+    csh.add_argument("--port", type=int, default=0)
+    csh.add_argument("--workers", type=int, default=2)
+    csh.add_argument("--isolation", default="inline",
+                     choices=("process", "inline"))
+
+    cq = clsub.add_parser(
+        "query", help="send one request to a running cluster router")
+    cq.add_argument("op", choices=("ping", "run", "characterize",
+                                   "datasets", "workloads", "stats",
+                                   "health", "shard_info"))
+    cq.add_argument("workload", nargs="?", default=None,
+                    help="workload name (run/characterize only)")
+    cq.add_argument("--dataset", default="ldbc")
+    cq.add_argument("--scale", type=float, default=0.25)
+    cq.add_argument("--seed", type=int, default=0)
+    cq.add_argument("--machine", default="scaled",
+                    choices=("scaled", "test", "paper"))
+    cq.add_argument("--gpu", action="store_true")
+    cq.add_argument("--host", default="127.0.0.1")
+    cq.add_argument("--port", type=int, default=ROUTER_PORT)
+    cq.add_argument("--timeout", type=float, default=300.0)
+
+    clg = clsub.add_parser(
+        "loadgen",
+        help="closed-loop load against a cluster router, with "
+             "per-shard imbalance reporting")
+    add_cluster_shape(clg)
+    clg.add_argument("--host", default="127.0.0.1")
+    clg.add_argument("--port", type=int, default=ROUTER_PORT)
+    clg.add_argument("--spawn", action="store_true",
+                     help="boot an in-process cluster for the run")
+    clg.add_argument("--requests", type=int, default=200)
+    clg.add_argument("--concurrency", type=int, default=16)
+    clg.add_argument("--workloads", default="BFS,CComp")
+    clg.add_argument("--datasets",
+                     default="twitter,knowledge,watson,roadnet,ldbc")
+    clg.add_argument("--scale", type=float, default=0.05)
+    clg.add_argument("--seeds", type=int, default=1)
+    clg.add_argument("--seed", type=int, default=0)
+    clg.add_argument("--op", default="run",
+                     choices=("run", "characterize"))
+    clg.add_argument("--dataset-skew", type=float, default=0.0,
+                     help="Zipf exponent over the dataset mix "
+                          "(0 = uniform)")
+    clg.add_argument("--timeout", type=float, default=300.0)
+    clg.add_argument("--json", action="store_true")
+
+    cp = clsub.add_parser(
+        "plan",
+        help="rebalance plan for a membership change: keys moved, "
+             "fraction, per-shard migration sizes")
+    cp.add_argument("--shards", type=int, default=4,
+                    help="shard count before the change (default: 4)")
+    cp.add_argument("--vnodes", type=int, default=64)
+    cp.add_argument("--add", action="append", metavar="NAME",
+                    help="shard to add (repeatable)")
+    cp.add_argument("--remove", action="append", metavar="NAME",
+                    help="shard to remove (repeatable)")
+    cp.add_argument("--synthetic", type=int, default=0, metavar="N",
+                    help="estimate over N synthetic keys instead of "
+                         "the dataset registry")
+    cp.add_argument("--json", action="store_true")
     return p
 
 
@@ -579,7 +861,7 @@ def main(argv: list[str] | None = None) -> int:
                "characterize": cmd_characterize, "gpu": cmd_gpu,
                "matrix": cmd_matrix, "serve": cmd_serve,
                "query": cmd_query, "loadgen": cmd_loadgen,
-               "stats": cmd_stats}
+               "stats": cmd_stats, "cluster": cmd_cluster}
     try:
         return handler[args.command](args)
     except KeyError as e:   # unknown workload/dataset names

@@ -1,0 +1,64 @@
+"""Sharded graph-service cluster.
+
+The scale-out layer over :mod:`repro.service`: a consistent-hash ring
+places dataset keys on shards (:mod:`~repro.cluster.ring`), each shard
+is a full single-node service owning its slice
+(:mod:`~repro.cluster.node`), a replication tracker decides failover
+order and ejection (:mod:`~repro.cluster.replica`), and an asyncio
+router speaks the unchanged JSON-lines protocol in front — routing
+keyed ops, scatter-gathering fan-out ops, failing over on transport
+faults (:mod:`~repro.cluster.router`).  :mod:`~repro.cluster.topology`
+holds the static spec plus in-process and multi-process boot harnesses.
+"""
+
+from ..core.errors import ShardUnavailable, WrongShard
+from .node import ShardService
+from .replica import (
+    DEFAULT_EJECT_AFTER,
+    ReplicaSet,
+    ReplicaTracker,
+    ShardHealth,
+)
+from .ring import (
+    DEFAULT_VNODES,
+    HashRing,
+    RebalancePlan,
+    cell_routing_key,
+    plan_rebalance,
+    stable_hash,
+    synthetic_keys,
+)
+from .router import MAX_BATCH_ENTRIES, ROUTER_PORT, Router, ShardAddress
+from .topology import (
+    ClusterProcesses,
+    ClusterSpec,
+    ClusterThread,
+    ShardProcess,
+    default_shard_factory,
+)
+
+__all__ = [
+    "DEFAULT_EJECT_AFTER",
+    "DEFAULT_VNODES",
+    "MAX_BATCH_ENTRIES",
+    "ROUTER_PORT",
+    "ClusterProcesses",
+    "ClusterSpec",
+    "ClusterThread",
+    "HashRing",
+    "RebalancePlan",
+    "ReplicaSet",
+    "ReplicaTracker",
+    "Router",
+    "ShardAddress",
+    "ShardHealth",
+    "ShardProcess",
+    "ShardService",
+    "ShardUnavailable",
+    "WrongShard",
+    "cell_routing_key",
+    "default_shard_factory",
+    "plan_rebalance",
+    "stable_hash",
+    "synthetic_keys",
+]

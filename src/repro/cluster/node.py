@@ -1,0 +1,82 @@
+"""One cluster shard: a :class:`~repro.service.server.GraphService`
+that owns a subset of the dataset keyspace.
+
+A shard is the full single-node serving stack — caches, pool, scheduler,
+metrics registry — plus three cluster behaviours:
+
+* ``shard_info`` answers the shard's identity, ownership, and load
+  (the router's topology probe);
+* ``health``/``ping`` responses carry the shard id, so a probe knows
+  *which* process answered on a recycled port;
+* single-dataset ops (``run``/``characterize``) for a dataset the shard
+  does not own fail with a typed
+  :class:`~repro.core.errors.WrongShard` — loudly surfacing a stale
+  ring or misrouted request instead of silently duplicating another
+  shard's cache tier;
+* the ``datasets`` op reports only the owned slice of the registry, so
+  the router's scatter-gather union *is* the cluster's serving surface
+  (a dead shard's exclusive datasets visibly drop out).
+
+``datasets=None`` means "owns everything" — a single-shard cluster (or
+a plain service promoted into one) needs no ownership list.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .. import __version__
+from ..core.errors import WrongShard
+from ..service.protocol import PROTOCOL_VERSION, Request
+from ..service.server import GraphService
+
+
+class ShardService(GraphService):
+    """A GraphService owning a subset of datasets in a cluster."""
+
+    def __init__(self, shard_id: str,
+                 datasets: "frozenset[str] | None" = None, **kwargs: Any):
+        super().__init__(**kwargs)
+        self.shard_id = shard_id
+        self.datasets = None if datasets is None else frozenset(datasets)
+        # known registry keys, cached: ownership rejection applies only
+        # to datasets that exist — an unknown name falls through to the
+        # server's BadRequest, which names the real mistake
+        from ..datagen.registry import REGISTRY
+        self._known = frozenset(REGISTRY)
+
+    def owns(self, dataset: str) -> bool:
+        return self.datasets is None or dataset in self.datasets
+
+    def shard_info(self) -> dict[str, Any]:
+        return {"shard": self.shard_id,
+                "datasets": (None if self.datasets is None
+                             else sorted(self.datasets)),
+                "server": __version__,
+                "protocol": PROTOCOL_VERSION,
+                "connections": self.connections,
+                "pending": self.scheduler.pending}
+
+    async def _dispatch(self, req: Request) -> Any:
+        if req.op == "shard_info":
+            self.op_counts[req.op] = self.op_counts.get(req.op, 0) + 1
+            return self.shard_info()
+        if req.op in ("run", "characterize"):
+            dataset = req.params.get("dataset", "ldbc")
+            if (isinstance(dataset, str) and dataset in self._known
+                    and not self.owns(dataset)):
+                raise WrongShard(dataset, self.shard_id)
+        result = await super()._dispatch(req)
+        if req.op == "datasets" and self.datasets is not None:
+            result = [row for row in result
+                      if row.get("key") in self.datasets]
+        if req.op in ("ping", "health") and isinstance(result, dict):
+            result["shard"] = self.shard_id
+        return result
+
+    def stats(self) -> dict[str, Any]:
+        out = super().stats()
+        out["shard"] = self.shard_id
+        out["datasets"] = (None if self.datasets is None
+                           else sorted(self.datasets))
+        return out

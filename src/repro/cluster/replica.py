@@ -1,0 +1,147 @@
+"""Replication bookkeeping: shard health, ejection, failover order.
+
+The ring (:mod:`~repro.cluster.ring`) says *where* a key's K replicas
+live; this module says *which of them to try first*.  A
+:class:`ReplicaTracker` watches transport outcomes as traffic flows:
+``eject_after`` consecutive failures mark a shard down (ejection), one
+success — live traffic or the router's background health probe — marks
+it up again (readmission).  :meth:`order` then sorts a replica set
+healthy-first while *keeping down shards as a last resort*: a tracker
+can be wrong (a partition heals, a probe races a restart), so the router
+degrades to trying ejected replicas rather than refusing outright.
+
+Probe pacing reuses the resilience layer's
+:class:`~repro.resilience.retry.RetryPolicy`: the delay before the n-th
+consecutive probe of a down shard follows the same deterministic
+seeded-jitter backoff schedule the matrix runner retries cells with.
+
+Thread-safe: the router mutates the tracker from its event loop while
+tests and the ``health`` op read it from other threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..resilience.retry import RetryPolicy
+
+#: Consecutive transport failures before a shard is ejected.
+DEFAULT_EJECT_AFTER = 2
+
+
+@dataclass
+class ShardHealth:
+    """One shard's view in the tracker."""
+
+    name: str
+    healthy: bool = True
+    consecutive_failures: int = 0
+    failures: int = 0            # lifetime transport failures
+    successes: int = 0           # lifetime successful exchanges
+    ejections: int = 0
+    readmissions: int = 0
+    probes: int = 0              # health probes sent while down
+
+    def as_dict(self) -> dict:
+        return {"healthy": self.healthy,
+                "consecutive_failures": self.consecutive_failures,
+                "failures": self.failures, "successes": self.successes,
+                "ejections": self.ejections,
+                "readmissions": self.readmissions, "probes": self.probes}
+
+
+class ReplicaTracker:
+    """Health state machine over a fixed shard set."""
+
+    def __init__(self, names: Sequence[str], *,
+                 eject_after: int = DEFAULT_EJECT_AFTER,
+                 probe_policy: RetryPolicy | None = None):
+        if eject_after < 1:
+            raise ValueError("eject_after must be >= 1")
+        self.eject_after = eject_after
+        self.probe_policy = probe_policy or RetryPolicy(
+            max_retries=0, base_delay=0.2, factor=2.0, max_delay=5.0)
+        self._lock = threading.Lock()
+        self._shards = {name: ShardHealth(name) for name in names}
+        if not self._shards:
+            raise ValueError("tracker needs at least one shard")
+
+    # -- outcome recording ---------------------------------------------------
+
+    def record_success(self, name: str) -> None:
+        with self._lock:
+            s = self._shards[name]
+            s.successes += 1
+            s.consecutive_failures = 0
+            if not s.healthy:
+                s.healthy = True
+                s.readmissions += 1
+
+    def record_failure(self, name: str) -> None:
+        with self._lock:
+            s = self._shards[name]
+            s.failures += 1
+            s.consecutive_failures += 1
+            if s.healthy and s.consecutive_failures >= self.eject_after:
+                s.healthy = False
+                s.ejections += 1
+
+    def record_probe(self, name: str) -> None:
+        with self._lock:
+            self._shards[name].probes += 1
+
+    # -- reads ---------------------------------------------------------------
+
+    def is_healthy(self, name: str) -> bool:
+        with self._lock:
+            return self._shards[name].healthy
+
+    def healthy_shards(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(n for n, s in self._shards.items() if s.healthy)
+
+    def down_shards(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(n for n, s in self._shards.items()
+                         if not s.healthy)
+
+    def probe_delay(self, name: str) -> float:
+        """Backoff before the next probe of a down shard (deterministic
+        seeded jitter, keyed by the shard name and its probe count)."""
+        with self._lock:
+            attempt = max(1, self._shards[name].probes)
+        return self.probe_policy.delay(attempt, name)
+
+    def order(self, replicas: Sequence[str]) -> tuple[str, ...]:
+        """Failover order for a replica set: healthy replicas in ring
+        order, then down ones as a last resort (read preference)."""
+        with self._lock:
+            up = [r for r in replicas if self._shards[r].healthy]
+            down = [r for r in replicas if not self._shards[r].healthy]
+        return tuple(up + down)
+
+    def snapshot(self) -> dict[str, dict]:
+        with self._lock:
+            return {name: s.as_dict()
+                    for name, s in sorted(self._shards.items())}
+
+
+@dataclass(frozen=True)
+class ReplicaSet:
+    """A key's replica chain at routing time (primary first)."""
+
+    key: str
+    replicas: tuple[str, ...]
+
+    @property
+    def primary(self) -> str:
+        return self.replicas[0]
+
+    secondaries: tuple[str, ...] = field(default=(), compare=False)
+
+    def __post_init__(self):
+        if not self.replicas:
+            raise ValueError("replica set cannot be empty")
+        object.__setattr__(self, "secondaries", self.replicas[1:])

@@ -1,0 +1,554 @@
+"""The cluster front door: one socket, N shards behind it.
+
+The router speaks the exact JSON-lines protocol the single-node service
+does — a :class:`~repro.service.client.ServiceClient` pointed at a
+router cannot tell it is talking to a cluster — and translates each op
+into shard traffic:
+
+* **single-dataset ops** (``run``/``characterize``) hash the dataset key
+  onto the ring, walk the replica chain healthy-first, and fail over to
+  the next replica on any *transport* failure (refused/reset/EOF/
+  timeout/garbage).  Typed errors a shard answers with are forwarded,
+  never retried — a bad request is bad on every replica.
+* **scatter-gather ops** (``datasets``/``stats``/``shard_info``/
+  ``batch``) fan out to every healthy shard concurrently under a
+  per-shard timeout and aggregate what arrives; a missing shard makes
+  the result *partial*, not an error.
+* **local ops** (``ping``/``health``) answer from the router's own
+  state — health is the tracker's live shard map.
+
+Failed shards are ejected by the :class:`~repro.cluster.replica.
+ReplicaTracker` after consecutive transport failures and readmitted by a
+background health-probe loop whose pacing is the resilience layer's
+deterministic :class:`~repro.resilience.retry.RetryPolicy` backoff.
+
+Observability: ``cluster_route_total{shard,outcome}`` counts every
+shard exchange (ok / failover / error / unreachable),
+``cluster_fanout_latency_ms{op}`` times scatter-gather fans,
+``router_request_latency_ms{op}`` times the front door, and each request
+runs under a ``route:<op>`` span when a tracer is attached.
+
+Duck-compatible with :class:`~repro.service.server.ServiceThread`
+(``start``/``serve_forever``/``stop``/``host``/``port``), so the same
+threaded harness hosts a router or a service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from .. import __version__
+from ..core.errors import BadRequest, ProtocolError, ShardUnavailable
+from ..obs.logs import get_logger
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import SpanTracer, maybe_span
+from ..resilience.retry import RetryPolicy
+from ..service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Request,
+    decode_frame,
+    encode_error,
+    encode_request,
+    encode_response,
+    parse_request,
+    payload_to_error,
+)
+from .replica import DEFAULT_EJECT_AFTER, ReplicaTracker
+from .ring import DEFAULT_VNODES, HashRing
+
+log = get_logger("cluster.router")
+
+#: Default TCP port for the cluster router (the single-node service
+#: listens on 7421; keeping them distinct lets both run side by side).
+ROUTER_PORT = 7430
+
+#: Hard cap on one ``batch`` op's entry list.
+MAX_BATCH_ENTRIES = 128
+
+#: Transport-level failures that trigger replica failover.  Typed error
+#: *frames* a shard answers with are not in this set — they forwarded,
+#: not retried.
+_TRANSPORT_ERRORS = (OSError, asyncio.TimeoutError, ProtocolError)
+
+
+@dataclass(frozen=True)
+class ShardAddress:
+    """Where one shard listens."""
+
+    name: str
+    host: str
+    port: int
+
+
+class _ShardLink:
+    """A small pool of persistent connections to one shard.
+
+    Checkout pops an idle connection or dials a fresh one; check-in
+    returns it unless the pool is full.  Any failure closes the
+    connection — a poisoned stream never goes back in the pool.
+    """
+
+    def __init__(self, addr: ShardAddress, limit: int = 4):
+        self.addr = addr
+        self.limit = limit
+        self._idle: list[tuple[asyncio.StreamReader,
+                               asyncio.StreamWriter]] = []
+        self._seq = 0
+
+    async def _checkout(self):
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if writer.is_closing():
+                writer.close()
+                continue
+            return reader, writer
+        return await asyncio.open_connection(
+            self.addr.host, self.addr.port, limit=MAX_FRAME_BYTES)
+
+    def _checkin(self, reader, writer) -> None:
+        if len(self._idle) < self.limit and not writer.is_closing():
+            self._idle.append((reader, writer))
+        else:
+            writer.close()
+
+    async def call(self, op: str, params: dict[str, Any]) -> dict:
+        """One request/response exchange; returns the decoded frame.
+
+        Raises ``OSError``/``ProtocolError`` on transport trouble — the
+        router's failover boundary.
+        """
+        reader, writer = await self._checkout()
+        try:
+            self._seq += 1
+            writer.write(encode_request(op, f"{self.addr.name}-{self._seq}",
+                                        params))
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                raise ProtocolError(
+                    f"shard {self.addr.name} closed the connection")
+            if not line.endswith(b"\n"):
+                raise ProtocolError(
+                    f"truncated frame from shard {self.addr.name}")
+            frame = decode_frame(line)
+        except BaseException:
+            writer.close()
+            raise
+        self._checkin(reader, writer)
+        return frame
+
+    def close(self) -> None:
+        for _, writer in self._idle:
+            writer.close()
+        self._idle.clear()
+
+
+class Router:
+    """Hash-ring router over a static shard topology."""
+
+    def __init__(self, shards: Sequence[ShardAddress], *,
+                 replication: int = 1, vnodes: int = DEFAULT_VNODES,
+                 attempt_timeout_s: float = 60.0,
+                 fanout_timeout_s: float = 30.0,
+                 eject_after: int = DEFAULT_EJECT_AFTER,
+                 probe_interval_s: float = 0.5,
+                 failover_policy: RetryPolicy | None = None,
+                 registry: MetricsRegistry | None = None,
+                 tracer: SpanTracer | None = None,
+                 pool_per_shard: int = 8):
+        if not shards:
+            raise ValueError("router needs at least one shard")
+        names = [s.name for s in shards]
+        if len(set(names)) != len(names):
+            raise ValueError("shard names must be unique")
+        self.shards = {s.name: s for s in shards}
+        self.ring = HashRing(names, vnodes=vnodes)
+        self.replication = min(max(replication, 1), len(names))
+        self.attempt_timeout_s = attempt_timeout_s
+        self.fanout_timeout_s = fanout_timeout_s
+        self.probe_interval_s = probe_interval_s
+        # backoff between replica attempts: tiny, deterministic — a
+        # failover should be fast, but two routers hammering the same
+        # wounded shard should not do it in lockstep
+        self.failover_policy = failover_policy or RetryPolicy(
+            max_retries=0, base_delay=0.01, factor=2.0, max_delay=0.25)
+        self.tracker = ReplicaTracker(names, eject_after=eject_after)
+        self.tracer = tracer
+        self._links = {name: _ShardLink(self.shards[name],
+                                        limit=pool_per_shard)
+                       for name in names}
+        self.connections = 0
+        self.op_counts: dict[str, int] = {}
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._probe_task: asyncio.Task | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        reg = self.registry
+        self._m_route = reg.counter(
+            "cluster_route_total",
+            "shard exchanges by outcome (ok/failover/error/unreachable)",
+            labels=("shard", "outcome"))
+        self._m_fan = reg.histogram(
+            "cluster_fanout_latency_ms",
+            "scatter-gather fan-out wall time (ms), by op",
+            labels=("op",))
+        self._m_lat = reg.histogram(
+            "router_request_latency_ms",
+            "router front-door latency (ms), by op", labels=("op",))
+        self._m_err = reg.counter(
+            "router_errors_total",
+            "error responses, by op and taxonomy kind",
+            labels=("op", "kind"))
+        reg.gauge("cluster_shards_healthy",
+                  "shards the tracker currently considers up",
+                  callback=lambda: float(len(self.tracker.healthy_shards())))
+        reg.gauge("cluster_shards_total", "shards in the topology",
+                  callback=lambda: float(len(self.shards)))
+
+    # -- lifecycle (ServiceThread-compatible) --------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        self._server = await asyncio.start_server(
+            self._handle, host, port, limit=MAX_FRAME_BYTES)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self._probe_task = asyncio.get_running_loop().create_task(
+            self._probe_loop())
+        return self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        for link in self._links.values():
+            link.close()
+
+    # -- background health probing -------------------------------------------
+
+    async def _probe_loop(self) -> None:
+        """Readmission path: periodically ``health``-probe down shards.
+
+        Healthy shards are validated by live traffic; only ejected ones
+        cost probes, and each shard's probe cadence follows the
+        deterministic retry-backoff schedule.
+        """
+        try:
+            while True:
+                await asyncio.sleep(self.probe_interval_s)
+                for name in self.tracker.down_shards():
+                    self.tracker.record_probe(name)
+                    try:
+                        frame = await asyncio.wait_for(
+                            self._links[name].call("health", {}),
+                            self.fanout_timeout_s)
+                    except _TRANSPORT_ERRORS:
+                        await asyncio.sleep(
+                            min(self.tracker.probe_delay(name), 1.0))
+                        continue
+                    if frame.get("ok") and (frame.get("result") or {}) \
+                            .get("ok"):
+                        self.tracker.record_success(name)
+                        log.info("shard %s readmitted", name,
+                                 extra={"shard": name})
+        except asyncio.CancelledError:
+            raise
+
+    # -- shard exchanges -----------------------------------------------------
+
+    async def _call(self, name: str, op: str,
+                    params: dict[str, Any],
+                    timeout_s: float | None = None) -> dict:
+        frame = await asyncio.wait_for(
+            self._links[name].call(op, params),
+            timeout_s or self.attempt_timeout_s)
+        return frame
+
+    async def _route_single(self, req: Request, key: str,
+                            replicas: Sequence[str],
+                            span_args: dict) -> Any:
+        """Walk a replica chain for one request; transport failures fail
+        over, typed shard errors forward."""
+        order = self.tracker.order(replicas)
+        span_args["replicas"] = list(order)
+        for i, shard in enumerate(order):
+            if i:
+                await asyncio.sleep(
+                    self.failover_policy.delay(i, key))
+            try:
+                frame = await self._call(shard, req.op, req.params)
+            except _TRANSPORT_ERRORS as e:
+                self.tracker.record_failure(shard)
+                self._m_route.labels(shard=shard,
+                                     outcome="unreachable").inc()
+                log.warning("shard %s unreachable for %s: %s",
+                            shard, key, e,
+                            extra={"shard": shard, "key": key})
+                continue
+            self.tracker.record_success(shard)
+            if frame.get("ok"):
+                outcome = "ok" if i == 0 else "failover"
+                self._m_route.labels(shard=shard, outcome=outcome).inc()
+                span_args["shard"] = shard
+                span_args["outcome"] = outcome
+                result = frame.get("result")
+                if isinstance(result, dict):
+                    result.setdefault("shard", shard)
+                return result
+            self._m_route.labels(shard=shard, outcome="error").inc()
+            span_args["shard"] = shard
+            span_args["outcome"] = "error"
+            error = frame.get("error")
+            if not isinstance(error, dict):
+                raise ProtocolError(f"malformed failure frame from "
+                                    f"{shard}: {frame!r}")
+            raise payload_to_error(error)
+        span_args["outcome"] = "unavailable"
+        raise ShardUnavailable(key, tried=order)
+
+    async def _scatter(self, op: str, params: dict[str, Any],
+                       targets: Sequence[str] | None = None
+                       ) -> tuple[dict[str, Any], list[str]]:
+        """Fan ``op`` to ``targets`` (default: healthy shards, or all
+        when the tracker has ejected everything) concurrently.
+
+        Returns ``(results, missing)``: per-shard results for those that
+        answered ok, and the shards that failed or timed out.
+        """
+        if targets is None:
+            targets = self.tracker.healthy_shards() or tuple(self.shards)
+        t0 = time.perf_counter()
+
+        async def one(name: str):
+            try:
+                frame = await self._call(name, op, params,
+                                         self.fanout_timeout_s)
+            except _TRANSPORT_ERRORS as e:
+                self.tracker.record_failure(name)
+                self._m_route.labels(shard=name,
+                                     outcome="unreachable").inc()
+                return name, None, str(e)
+            self.tracker.record_success(name)
+            if frame.get("ok"):
+                self._m_route.labels(shard=name, outcome="ok").inc()
+                return name, frame.get("result"), None
+            self._m_route.labels(shard=name, outcome="error").inc()
+            err = frame.get("error") or {}
+            return name, None, err.get("message", "error")
+
+        outcomes = await asyncio.gather(*(one(n) for n in targets))
+        self._m_fan.labels(op=op).observe(
+            (time.perf_counter() - t0) * 1e3)
+        results = {name: result for name, result, err in outcomes
+                   if err is None}
+        missing = sorted(name for name, _, err in outcomes
+                         if err is not None)
+        return results, missing
+
+    # -- op dispatch ---------------------------------------------------------
+
+    def _routing_key(self, params: dict[str, Any]) -> str:
+        dataset = params.get("dataset", "ldbc")
+        if not isinstance(dataset, str) or not dataset:
+            raise BadRequest(f"dataset must be a non-empty string, "
+                             f"got {dataset!r}")
+        return dataset
+
+    async def _dispatch(self, req: Request) -> Any:
+        self.op_counts[req.op] = self.op_counts.get(req.op, 0) + 1
+        with maybe_span(self.tracer, f"route:{req.op}") as span_args:
+            return await self._dispatch_traced(req, span_args)
+
+    async def _dispatch_traced(self, req: Request,
+                               span_args: dict) -> Any:
+        if req.op == "ping":
+            return {"pong": True, "protocol": PROTOCOL_VERSION,
+                    "server": __version__, "role": "router",
+                    "shards": len(self.shards),
+                    "replication": self.replication}
+        if req.op == "health":
+            healthy = self.tracker.healthy_shards()
+            return {"ok": bool(healthy), "role": "router",
+                    "shards": {name: name in healthy
+                               for name in sorted(self.shards)}}
+        if req.op in ("run", "characterize"):
+            key = self._routing_key(req.params)
+            replicas = self.ring.owners(key, self.replication)
+            return await self._route_single(req, key, replicas,
+                                            span_args)
+        if req.op == "workloads":
+            # identical on every shard: any healthy one will do, with
+            # the same transport-failover walk a keyed op gets
+            order = self.tracker.order(tuple(self.shards))
+            return await self._route_single(req, "_workloads", order,
+                                            span_args)
+        if req.op == "datasets":
+            return await self._gather_datasets(span_args)
+        if req.op == "shard_info":
+            results, missing = await self._scatter("shard_info",
+                                                   req.params)
+            span_args["missing"] = missing
+            return {"role": "router", "shards": results,
+                    "partial": bool(missing), "missing": missing}
+        if req.op == "stats":
+            return await self._gather_stats(span_args)
+        if req.op == "batch":
+            return await self._gather_batch(req, span_args)
+        raise BadRequest(f"router does not serve op {req.op!r}")
+
+    async def _gather_datasets(self, span_args: dict) -> list[dict]:
+        """Union of every shard's owned slice, annotated with the shards
+        currently serving each dataset."""
+        results, missing = await self._scatter("datasets", {})
+        span_args["missing"] = missing
+        merged: dict[str, dict] = {}
+        for shard, rows in sorted(results.items()):
+            for row in rows or []:
+                entry = merged.setdefault(row["key"], dict(row,
+                                                           shards=[]))
+                entry["shards"].append(shard)
+        return [merged[k] for k in sorted(merged)]
+
+    async def _gather_stats(self, span_args: dict) -> dict[str, Any]:
+        results, missing = await self._scatter("stats", {})
+        span_args["missing"] = missing
+        return {"protocol": PROTOCOL_VERSION, "server": __version__,
+                "role": "router",
+                "connections": self.connections,
+                "ops": dict(self.op_counts),
+                "ring": {"shards": list(self.ring.nodes),
+                         "vnodes": self.ring.vnodes,
+                         "replication": self.replication},
+                "health": self.tracker.snapshot(),
+                "metrics": self.registry.snapshot(),
+                "shards": results,
+                "partial": bool(missing), "missing": missing}
+
+    async def _gather_batch(self, req: Request,
+                            span_args: dict) -> dict[str, Any]:
+        """Multi-cell scatter: route every entry independently (each
+        with its own replica failover), aggregate partial results."""
+        entries = req.params.get("entries")
+        if not isinstance(entries, list) or not entries:
+            raise BadRequest("batch requires a non-empty 'entries' list")
+        if len(entries) > MAX_BATCH_ENTRIES:
+            raise BadRequest(f"batch of {len(entries)} entries exceeds "
+                             f"{MAX_BATCH_ENTRIES}")
+
+        async def one(entry) -> dict[str, Any]:
+            if not isinstance(entry, dict):
+                return {"ok": False,
+                        "error": {"kind": BadRequest.kind,
+                                  "type": "BadRequest",
+                                  "message": "batch entry must be an "
+                                             "object"}}
+            op = entry.get("op", "run")
+            if op not in ("run", "characterize"):
+                return {"ok": False,
+                        "error": {"kind": BadRequest.kind,
+                                  "type": "BadRequest",
+                                  "message": f"batch entries must be "
+                                             f"run/characterize, got "
+                                             f"{op!r}"}}
+            params = entry.get("params") or {}
+            sub = Request(op=op, id=req.id, params=params)
+            sub_span: dict[str, Any] = {}
+            try:
+                key = self._routing_key(params)
+                replicas = self.ring.owners(key, self.replication)
+                result = await self._route_single(sub, key, replicas,
+                                                  sub_span)
+            except Exception as e:  # noqa: BLE001 — per-entry, in-band
+                from ..service.protocol import error_to_payload
+                return {"ok": False, "error": error_to_payload(e)}
+            return {"ok": True, "result": result}
+
+        results = await asyncio.gather(*(one(e) for e in entries))
+        failed = sum(1 for r in results if not r["ok"])
+        span_args["entries"] = len(entries)
+        span_args["failed"] = failed
+        return {"results": list(results), "entries": len(entries),
+                "failed": failed, "partial": failed > 0}
+
+    # -- connection handling (JSON-lines loop, as the service speaks) --------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._m_err.labels(op="_frame",
+                                       kind=ProtocolError.kind).inc()
+                    writer.write(encode_error(
+                        None, ProtocolError("frame exceeds size limit")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.endswith(b"\n"):
+                    self._m_err.labels(op="_frame",
+                                       kind=ProtocolError.kind).inc()
+                    writer.write(encode_error(
+                        None, ProtocolError("truncated frame at EOF")))
+                    await writer.drain()
+                    break
+                req_id: str | None = None
+                op = "_frame"
+                t0 = time.perf_counter()
+                try:
+                    req = parse_request(decode_frame(line))
+                    req_id = req.id
+                    op = req.op
+                    result = await self._dispatch(req)
+                    writer.write(encode_response(req_id, result))
+                except Exception as e:  # noqa: BLE001 — typed on the wire
+                    kind = getattr(e, "kind", None)
+                    self._m_err.labels(
+                        op=op,
+                        kind=kind if isinstance(kind, str)
+                        else "internal").inc()
+                    writer.write(encode_error(req_id, e))
+                finally:
+                    self._m_lat.labels(op=op).observe(
+                        (time.perf_counter() - t0) * 1e3)
+                await writer.drain()
+        except ConnectionError:
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass

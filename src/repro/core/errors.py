@@ -160,6 +160,22 @@ class ProtocolError(ServiceError, ValueError):
     kind = "protocol"
 
 
+class VersionMismatch(ProtocolError):
+    """The peer speaks a different protocol version.
+
+    Raised instead of a generic decode failure so a client can tell "the
+    server is a different release" apart from "the wire is garbage" —
+    both versions are carried for the error message and for callers that
+    want to negotiate or report precisely.
+    """
+
+    def __init__(self, ours: int, theirs: object):
+        super().__init__(f"protocol version mismatch: peer speaks "
+                         f"{theirs!r}, this client speaks {ours}")
+        self.ours = ours
+        self.theirs = theirs
+
+
 class BadRequest(ServiceError, ValueError):
     """A well-framed request asked for something that cannot exist
     (unknown operation, unknown workload or dataset, invalid params)."""
@@ -181,6 +197,39 @@ class AdmissionRejected(ServiceError):
                          "retry later")
         self.pending = pending
         self.limit = limit
+
+
+class WrongShard(ServiceError):
+    """A shard received a single-dataset request for a dataset it does
+    not own — a routing bug (stale ring, misconfigured topology), never
+    a user mistake, so it is distinct from :class:`BadRequest`."""
+
+    kind = "wrong-shard"
+
+    def __init__(self, dataset: str, shard: str = "?"):
+        super().__init__(f"dataset {dataset!r} is not owned by shard "
+                         f"{shard!r}")
+        self.dataset = dataset
+        self.shard = shard
+
+
+class ShardUnavailable(ServiceError):
+    """Every replica that owns a key failed at the transport level.
+
+    The router raises this only after exhausting the failover chain;
+    ``tried`` is the replica order it walked.  Clients should treat it
+    like :class:`AdmissionRejected` — retryable after a delay, since a
+    health probe may readmit a recovered shard at any moment.
+    """
+
+    kind = "unavailable"
+
+    def __init__(self, key: str, tried: tuple[str, ...] = ()):
+        chain = " -> ".join(tried) if tried else "no replicas"
+        super().__init__(f"no replica could serve {key!r} "
+                         f"(tried {chain}); retry later")
+        self.key = key
+        self.tried = tuple(tried)
 
 
 class RemoteError(ServiceError):

@@ -15,9 +15,10 @@ from __future__ import annotations
 import socket
 from typing import Any
 
-from ..core.errors import ProtocolError
+from ..core.errors import ProtocolError, VersionMismatch
 from .protocol import (
     MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
     decode_frame,
     encode_request,
     payload_to_error,
@@ -79,6 +80,11 @@ class ServiceClient:
             raise ProtocolError("connection closed before response")
         if not line.endswith(b"\n"):
             raise ProtocolError("truncated response frame")
+        # decode_frame raises VersionMismatch (a typed ProtocolError
+        # subclass carrying both versions) when the server answers in a
+        # protocol release this client does not speak — distinct from a
+        # garbage/truncation decode failure, so callers can report "the
+        # server is a different version" precisely
         frame = decode_frame(line)
         if frame.get("id") not in (req_id, None):
             raise ProtocolError(f"response id {frame.get('id')!r} does not "
@@ -93,7 +99,24 @@ class ServiceClient:
     # -- convenience ---------------------------------------------------------
 
     def ping(self) -> dict[str, Any]:
-        return self.request("ping")
+        """Liveness + version handshake.
+
+        Raises :class:`~repro.core.errors.VersionMismatch` when the
+        server *reports* a protocol release other than ours even though
+        the frame itself decoded (a forward-compatible server answering
+        a downlevel client in the client's framing).
+        """
+        result = self.request("ping")
+        theirs = (result or {}).get("protocol")
+        if theirs != PROTOCOL_VERSION:
+            raise VersionMismatch(PROTOCOL_VERSION, theirs)
+        return result
+
+    def health(self) -> dict[str, Any]:
+        return self.request("health")
+
+    def shard_info(self) -> dict[str, Any]:
+        return self.request("shard_info")
 
     def workloads(self) -> list[dict[str, Any]]:
         return self.request("workloads")

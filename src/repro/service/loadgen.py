@@ -63,12 +63,57 @@ def workload_mix(workloads: Sequence[str] = ("BFS", "CComp", "kCore"),
 
 
 def schedule(mix: Sequence[Query], n_requests: int,
-             seed: int = 0) -> list[Query]:
-    """Deterministic request sequence: seeded uniform draws from the mix."""
+             seed: int = 0, *, dataset_skew: float = 0.0) -> list[Query]:
+    """Deterministic request sequence: seeded draws from the mix.
+
+    ``dataset_skew <= 0`` draws uniformly (byte-identical to the
+    historical stream for a given seed).  ``dataset_skew > 0`` draws the
+    *dataset* from a Zipf distribution — weight ``1/(rank+1)^skew``,
+    ranked by first appearance in the mix — then uniformly among that
+    dataset's queries.  Skewed plans are what make a sharded cluster's
+    placement interesting: a hot dataset concentrates load on one
+    replica set, the imbalance :func:`plan_imbalance` quantifies.
+    """
     if not mix:
         raise ValueError("query mix is empty")
     rng = random.Random(f"loadgen:{seed}")
-    return [mix[rng.randrange(len(mix))] for _ in range(n_requests)]
+    if dataset_skew <= 0:
+        return [mix[rng.randrange(len(mix))] for _ in range(n_requests)]
+    groups: dict[str, list[Query]] = {}
+    for q in mix:
+        groups.setdefault(str(q.params.get("dataset", "ldbc")),
+                          []).append(q)
+    names = list(groups)
+    weights = [1.0 / (rank + 1) ** dataset_skew
+               for rank in range(len(names))]
+    plan = []
+    for _ in range(n_requests):
+        dataset = rng.choices(names, weights=weights)[0]
+        pool = groups[dataset]
+        plan.append(pool[rng.randrange(len(pool))])
+    return plan
+
+
+def plan_imbalance(plan: Sequence[Query],
+                   owner_of: Callable[[str], str]) -> float:
+    """Load imbalance a plan induces across owners (max/mean, 1.0 =
+    perfectly balanced — :meth:`repro.parallel.partition.Partition.
+    imbalance` applied to request counts).
+
+    ``owner_of`` maps a dataset key to its owner: a shard name via
+    ``ring.owner`` for per-shard imbalance, or the identity function for
+    per-dataset imbalance.
+    """
+    import numpy as np
+
+    from ..parallel.partition import Partition
+    if not plan:
+        return 1.0
+    owners = [owner_of(str(q.params.get("dataset", "ldbc")))
+              for q in plan]
+    index = {name: i for i, name in enumerate(sorted(set(owners)))}
+    owner = np.array([index[o] for o in owners], dtype=np.int64)
+    return Partition(owner, len(index)).imbalance()
 
 
 @dataclass

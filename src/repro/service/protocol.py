@@ -30,6 +30,9 @@ from ..core.errors import (
     GraphError,
     ProtocolError,
     RemoteError,
+    ShardUnavailable,
+    VersionMismatch,
+    WrongShard,
 )
 
 PROTOCOL_VERSION = 1
@@ -39,8 +42,12 @@ PROTOCOL_VERSION = 1
 #: KB; dataset listings under 100).
 MAX_FRAME_BYTES = 4 * 1024 * 1024
 
-#: The operations a server understands.
-OPS = ("ping", "run", "characterize", "datasets", "workloads", "stats")
+#: The operations a server understands.  ``health``/``shard_info`` are
+#: the cluster liveness/topology probes; ``batch`` is the router's
+#: multi-cell scatter op (a plain single-node service rejects the ops it
+#: does not serve with a typed BadRequest, never a framing error).
+OPS = ("ping", "run", "characterize", "datasets", "workloads", "stats",
+       "health", "shard_info", "batch")
 
 
 @dataclass(frozen=True)
@@ -102,8 +109,7 @@ def decode_frame(line: bytes) -> dict[str, Any]:
                             "object")
     v = obj.get("v")
     if v != PROTOCOL_VERSION:
-        raise ProtocolError(f"unsupported protocol version {v!r} "
-                            f"(speaking {PROTOCOL_VERSION})")
+        raise VersionMismatch(PROTOCOL_VERSION, v)
     return obj
 
 
@@ -161,4 +167,12 @@ def payload_to_error(payload: dict[str, Any]) -> GraphError:
         return err
     if kind == ProtocolError.kind:
         return ProtocolError(message)
+    if kind == WrongShard.kind:
+        err = WrongShard("?")
+        err.args = (message,)
+        return err
+    if kind == ShardUnavailable.kind:
+        err = ShardUnavailable("?")
+        err.args = (message,)
+        return err
     return RemoteError(kind, message, remote_type)

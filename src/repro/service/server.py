@@ -301,6 +301,15 @@ class GraphService:
         if req.op == "ping":
             return {"pong": True, "protocol": PROTOCOL_VERSION,
                     "server": __version__}
+        if req.op == "health":
+            # the cluster liveness probe; a plain service is always
+            # "up" while it can answer at all
+            return {"ok": True, "protocol": PROTOCOL_VERSION,
+                    "server": __version__}
+        if req.op in ("shard_info", "batch"):
+            raise BadRequest(f"operation {req.op!r} is served by the "
+                             "cluster layer (a shard or router), not a "
+                             "standalone service")
         if req.op == "workloads":
             return workloads_payload()
         if req.op == "datasets":

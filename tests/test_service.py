@@ -668,3 +668,82 @@ class TestHarnessMemo:
         assert len(_CACHE) == 1
         clear_cache()
         assert len(_CACHE) == 0
+
+
+# -- protocol version handshake ----------------------------------------------
+
+def _one_shot_server(reply: bytes) -> int:
+    """A fake peer: accept one connection, read one line, answer
+    ``reply`` verbatim.  Returns the bound port."""
+    import socket
+
+    srv = socket.socket()
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(1)
+    port = srv.getsockname()[1]
+
+    def serve() -> None:
+        conn, _ = srv.accept()
+        with conn:
+            conn.recv(1 << 16)
+            conn.sendall(reply)
+        srv.close()
+
+    threading.Thread(target=serve, daemon=True).start()
+    return port
+
+
+class TestVersionHandshake:
+    def test_frame_version_mismatch_is_typed(self):
+        """A peer speaking a different protocol release raises
+        VersionMismatch carrying both versions — not the generic
+        undecodable-frame ProtocolError it used to."""
+        from repro.core.errors import VersionMismatch
+
+        reply = (json.dumps({"v": 2, "id": "c1", "ok": True,
+                             "result": {"pong": True}}) + "\n").encode()
+        port = _one_shot_server(reply)
+        with ServiceClient("127.0.0.1", port, timeout_s=10) as client:
+            with pytest.raises(VersionMismatch) as exc:
+                client.request("ping")
+        assert isinstance(exc.value, ProtocolError)
+        assert exc.value.ours == 1
+        assert exc.value.theirs == 2
+        assert "version mismatch" in str(exc.value)
+
+    def test_ping_checks_reported_protocol(self):
+        """A well-framed ping whose *result* reports a different
+        protocol release still fails the handshake, typed."""
+        from repro.core.errors import VersionMismatch
+
+        reply = (json.dumps({"v": 1, "id": "c1", "ok": True,
+                             "result": {"pong": True,
+                                        "protocol": 99}}) + "\n").encode()
+        port = _one_shot_server(reply)
+        with ServiceClient("127.0.0.1", port, timeout_s=10) as client:
+            with pytest.raises(VersionMismatch) as exc:
+                client.ping()
+        assert exc.value.theirs == 99
+
+    def test_garbage_is_still_plain_protocol_error(self):
+        from repro.core.errors import VersionMismatch
+
+        port = _one_shot_server(b"not json at all\n")
+        with ServiceClient("127.0.0.1", port, timeout_s=10) as client:
+            with pytest.raises(ProtocolError) as exc:
+                client.request("ping")
+        assert not isinstance(exc.value, VersionMismatch)
+
+    def test_live_server_passes_handshake_and_health(self):
+        with ServiceThread(_inline_service()) as st:
+            with ServiceClient(st.host, st.port) as client:
+                assert client.ping()["pong"] is True
+                health = client.health()
+                assert health["ok"] is True
+                assert health["protocol"] == 1
+                # cluster-layer ops are rejected with a *typed* error
+                # naming the right layer, not a framing failure
+                with pytest.raises(RemoteError) as exc:
+                    client.shard_info()
+                assert exc.value.kind == "bad-request"
+                assert "cluster" in str(exc.value)
