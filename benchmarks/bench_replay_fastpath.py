@@ -1,0 +1,186 @@
+"""Trace-replay fast path: store + fused engine vs. re-execute + reference.
+
+The machine-sensitivity claim behind the fast path: a FrozenTrace depends
+only on (workload, dataset, seed, params) — a 5-machine sweep therefore
+needs ONE workload execution, not five, and each replay needs one fused
+pass over the trace, not four independent simulator passes.
+
+Two things are measured and asserted:
+
+1. **Equivalence gate** — for every workload x machine cell, the fast
+   configuration (content-addressed :class:`TraceStore` + fused
+   :func:`repro.arch.replay.replay`) must report the *identical* metric
+   summary the baseline (re-execute every cell, reference multi-pass
+   simulators) reports, and the fused engine's per-access miss masks must
+   be bitwise identical to the reference simulators on a real workload
+   trace.  No tolerance: same dict, same bits.
+
+2. **Sweep speedup** — wall-clock for the full workloads x machines
+   sweep, fast vs. baseline.  Acceptance floor: **3x**.
+
+Results land in ``BENCH_replay.json``.  ``REPRO_BENCH_SCALE`` shrinks the
+dataset for CI smoke runs (the gate is scale-independent; the speedup is
+asserted at any scale because the saved work — workload re-execution and
+redundant simulator passes — shrinks with it proportionally).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_replay_fastpath.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    from benchmarks.conftest import show
+except ModuleNotFoundError:      # standalone: repo root not on sys.path
+    def show(text: str) -> None:
+        print("\n" + text)
+from repro.arch import MemoryHierarchy, TLB, replay
+from repro.arch.machine import SCALED_XEON, MachineConfig
+from repro.core.tracestore import TraceStore
+from repro.datagen.registry import make as make_dataset
+from repro.harness import format_table
+from repro.harness.runner import run_cpu_workload
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.08"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+# one workload per paper computation class: Gibbs (CompDyn, the heaviest
+# execution), TC (CompStruct, orientation-pass heavy), CComp (CompProp
+# analytics), kCore (iterative peel)
+WORKLOAD_SET = ("Gibbs", "TC", "CComp", "kCore")
+SPEEDUP_FLOOR = 3.0
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_replay.json"
+
+
+def _machines() -> list[MachineConfig]:
+    """SCALED_XEON plus four cache-geometry variants — the shape of a
+    machine-sensitivity sweep (same trace, five hierarchies)."""
+    base = SCALED_XEON
+    variants = [base]
+    for tag, l2_f, l3_f, a2, a3 in (
+            ("half-llc", 1, 2, base.l2.assoc, base.l3.assoc),
+            ("quarter-llc", 1, 4, base.l2.assoc, base.l3.assoc),
+            ("half-l2", 2, 1, base.l2.assoc, base.l3.assoc),
+            ("low-assoc", 1, 1, 2, 4)):
+        variants.append(dataclasses.replace(
+            base,
+            name=f"{base.name}/{tag}",
+            l2=dataclasses.replace(base.l2, size=base.l2.size // l2_f,
+                                   assoc=a2),
+            l3=dataclasses.replace(base.l3, size=base.l3.size // l3_f,
+                                   assoc=a3)))
+    return variants
+
+
+def _sweep(spec, machines, *, trace_store, fast):
+    """Run every workload on every machine; return {(w, m): summary}."""
+    out = {}
+    for wname in WORKLOAD_SET:
+        for m in machines:
+            _, cpu = run_cpu_workload(wname, spec, machine=m,
+                                      trace_store=trace_store, fast=fast)
+            out[(wname, m.name)] = cpu.summary()
+    return out
+
+
+def _bitwise_gate(spec, machines) -> int:
+    """Fused engine vs. reference simulators on a real workload trace:
+    per-access miss masks and latency must match bit for bit."""
+    result, _ = run_cpu_workload("BFS", spec, machine=machines[0])
+    trace = result.trace
+    checked = 0
+    for m in machines:
+        rep = replay(trace.addrs, trace.rw, m)
+        ref = MemoryHierarchy(m).simulate(trace.addrs, trace.rw)
+        tlb = TLB(m.tlb)
+        ref_tlb_miss = tlb.simulate(trace.addrs)
+        assert np.array_equal(ref.l1_miss, rep.hierarchy.l1_miss)
+        assert np.array_equal(ref.l2_miss, rep.hierarchy.l2_miss)
+        assert np.array_equal(ref.l3_miss, rep.hierarchy.l3_miss)
+        assert np.array_equal(ref.latency, rep.hierarchy.latency)
+        assert np.array_equal(ref_tlb_miss, rep.tlb_miss)
+        assert ref.l1 == rep.hierarchy.l1
+        assert ref.l2 == rep.hierarchy.l2
+        assert ref.l3 == rep.hierarchy.l3
+        assert tlb.stats() == rep.tlb
+        checked += 1
+    return checked
+
+
+def run_replay_benchmark() -> dict:
+    spec = make_dataset("ldbc", scale=SCALE, seed=SEED)
+    machines = _machines()
+
+    masks_checked = _bitwise_gate(spec, machines)
+
+    t0 = time.perf_counter()
+    slow = _sweep(spec, machines, trace_store=None, fast=False)
+    t_slow = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore(tmp)
+        t0 = time.perf_counter()
+        fast = _sweep(spec, machines, trace_store=store, fast=True)
+        t_fast = time.perf_counter() - t0
+        store_stats = store.stats.as_dict()
+
+    cells = len(WORKLOAD_SET) * len(machines)
+    mismatched = [f"{w}@{m}" for (w, m) in slow
+                  if slow[(w, m)] != fast[(w, m)]]
+    speedup = t_slow / t_fast if t_fast else float("inf")
+
+    return {
+        "config": {"scale": SCALE, "seed": SEED,
+                   "workloads": list(WORKLOAD_SET),
+                   "machines": [m.name for m in machines],
+                   "cells": cells},
+        "equivalence": {"cells_compared": cells,
+                        "mismatched_cells": mismatched,
+                        "bitwise_mask_machines": masks_checked,
+                        "identical": not mismatched},
+        "baseline_s": round(t_slow, 4),
+        "fastpath_s": round(t_fast, 4),
+        "speedup": round(speedup, 2),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "trace_store": store_stats,
+    }
+
+
+def _render(results: dict) -> str:
+    rows = [["baseline (re-execute + reference)",
+             results["baseline_s"], "1.0x"],
+            ["fast (trace store + fused replay)",
+             results["fastpath_s"], f"{results['speedup']:.1f}x"]]
+    return format_table(
+        ["configuration", "sweep_s", "speedup"], rows,
+        title=(f"{results['config']['cells']}-cell machine sweep "
+               f"(scale={results['config']['scale']})"))
+
+
+def test_replay_fastpath_equivalence_and_speedup():
+    results = run_replay_benchmark()
+    OUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))
+    show(_render(results)
+         + f"\ntrace store: {results['trace_store']}"
+         + f"\nequivalence: {results['equivalence']}")
+    assert results["equivalence"]["identical"], \
+        results["equivalence"]["mismatched_cells"]
+    assert results["speedup"] >= SPEEDUP_FLOOR, results
+
+
+if __name__ == "__main__":
+    results = run_replay_benchmark()
+    OUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True))
+    print(_render(results))
+    print(f"trace store: {results['trace_store']}")
+    print(f"equivalence: {results['equivalence']}")
+    print(f"wrote {OUT_PATH}")

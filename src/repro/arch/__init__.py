@@ -9,7 +9,7 @@ from .branch import (
     GSharePredictor,
     simulate_branches,
 )
-from .cache import Cache, CacheConfig, CacheStats
+from .cache import Cache, CacheConfig, CacheStats, line_ids
 from .cpu import SERIAL_REGIONS, CPUMetrics, CPUModel, CycleBreakdown
 from .hierarchy import HierarchyResult, MemoryHierarchy
 from .icache import ICache, ICacheStats, code_footprint, deep_stack_regions
@@ -21,6 +21,7 @@ from .prefetch import (
     StridePrefetcher,
     prefetch_comparison,
 )
+from .replay import ReplayResult, replay
 from .stackdist import COLD, Fenwick, miss_curve, misses_for_assoc, stack_distances
 from .tlb import TLB, TLBConfig, TLBStats
 
@@ -30,7 +31,8 @@ __all__ = [
     "CycleBreakdown", "Fenwick", "GSharePredictor", "HierarchyResult",
     "ICache", "ICacheStats", "MachineConfig", "MemoryHierarchy",
     "NDPConfig", "NDPProjection", "NextLinePrefetcher", "PrefetchStats",
-    "StridePrefetcher", "prefetch_comparison", "project_ndp",
+    "ReplayResult", "StridePrefetcher", "line_ids", "prefetch_comparison",
+    "project_ndp", "replay",
     "PAPER_XEON", "SCALED_XEON", "SERIAL_REGIONS", "TEST_MACHINE", "TLB",
     "TLBConfig", "TLBStats", "code_footprint", "deep_stack_regions",
     "describe", "miss_curve", "misses_for_assoc", "simulate_branches",

@@ -21,6 +21,18 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def line_ids(addrs: np.ndarray, line: int) -> np.ndarray:
+    """Byte addresses -> line (or page) ids, as a uint64 array.
+
+    Computed once by the hierarchy / fused replay engine and shared across
+    levels with the same line size instead of re-dividing per level.
+    """
+    addrs = np.asarray(addrs, dtype=np.uint64)
+    if line & (line - 1) == 0:
+        return addrs >> np.uint64(line.bit_length() - 1)
+    return addrs // np.uint64(line)
+
+
 @dataclass(frozen=True)
 class CacheConfig:
     """Geometry of one cache level.
@@ -112,23 +124,29 @@ class Cache:
             del s[next(iter(s))]   # evict LRU (oldest insertion)
         return False
 
-    def simulate(self, addrs: np.ndarray, rw: np.ndarray | None = None
-                 ) -> np.ndarray:
+    def simulate(self, addrs: np.ndarray | None, rw: np.ndarray | None = None,
+                 *, lines: np.ndarray | list[int] | None = None) -> np.ndarray:
         """Replay a whole trace; returns a bool miss mask (True = miss).
 
         ``addrs`` are byte addresses; ``rw`` optionally marks writes (1).
         State persists across calls (warm cache), call :meth:`reset` first
         for a cold run.
+
+        ``lines=`` is the fast path: callers that already hold the line ids
+        (the hierarchy shares one ``addrs >> log2(line)`` precompute across
+        levels) pass them directly and ``addrs`` is ignored entirely.
         """
         cfg = self.config
-        line_size = cfg.line
         n_sets = cfg.n_sets
         assoc = cfg.assoc
         sets = self._sets
-        lines = (np.asarray(addrs, dtype=np.uint64) //
-                 np.uint64(line_size)).tolist()
-        writes = (np.asarray(rw, dtype=np.uint8).tolist()
-                  if rw is not None else None)
+        if lines is None:
+            lines = line_ids(addrs, cfg.line).tolist()
+        elif isinstance(lines, np.ndarray):
+            lines = lines.tolist()
+        writes = None
+        if rw is not None:
+            writes = rw.tolist() if isinstance(rw, np.ndarray) else list(rw)
         miss = np.zeros(len(lines), dtype=bool)
         n_miss = 0
         w_miss = 0

@@ -28,6 +28,7 @@ from .branch import BranchStats, simulate_branches
 from .hierarchy import HierarchyResult, MemoryHierarchy
 from .icache import ICache, ICacheStats
 from .machine import SCALED_XEON, MachineConfig
+from .replay import replay
 from .tlb import TLB, TLBStats
 
 #: Framework regions whose loads form dependence chains (pointer chasing).
@@ -143,7 +144,8 @@ class CPUModel:
         self.machine = machine
 
     def run(self, trace: FrozenTrace, *, stack_depth: int = 0,
-            footprint_bytes: int = 0) -> CPUMetrics:
+            footprint_bytes: int = 0, fast: bool = True,
+            memo: dict | None = None) -> CPUMetrics:
         """Characterize one workload run.
 
         Parameters
@@ -155,15 +157,49 @@ class CPUModel:
             (0 = GraphBIG's flat hierarchy).
         footprint_bytes:
             Heap footprint of the run (reported, not simulated).
+        fast:
+            Replay the hierarchy + DTLB through the fused one-pass engine
+            (:mod:`repro.arch.replay`).  Bitwise-identical to the
+            multi-pass reference simulators, which ``fast=False`` keeps
+            available as the cross-validation oracle.
+        memo:
+            Optional per-*trace* scratch dict, shared across the machine
+            configs of a sensitivity sweep.  Sub-results that do not
+            depend on the dimension being swept — branch prediction
+            (keyed by predictor kind/bits), the ICache stats (keyed by
+            its config and ``stack_depth``), and the replay engine's
+            line/page-id precompute — are computed once per sweep.  Only
+            used on the ``fast`` path; the reference path never memoizes.
         """
         m = self.machine
-        hier = MemoryHierarchy(m).simulate(trace.addrs, trace.rw)
-        tlb = TLB(m.tlb)
-        tlb.simulate(trace.addrs)
-        tlb_stats = tlb.stats()
-        br = simulate_branches(trace.branch_sites, trace.branch_taken,
-                               kind=m.predictor, table_bits=m.predictor_bits)
-        ic = ICache(m.icache).simulate(trace, stack_depth=stack_depth)
+        if not fast:
+            memo = None
+        if fast:
+            rep = replay(trace.addrs, trace.rw, m, id_cache=memo)
+            hier = rep.hierarchy
+            tlb_stats = rep.tlb
+        else:
+            hier = MemoryHierarchy(m).simulate(trace.addrs, trace.rw)
+            tlb = TLB(m.tlb)
+            tlb.simulate(trace.addrs)
+            tlb_stats = tlb.stats()
+        bkey = ("branch", m.predictor, m.predictor_bits)
+        if memo is not None and bkey in memo:
+            br = memo[bkey]
+        else:
+            br = simulate_branches(trace.branch_sites, trace.branch_taken,
+                                   kind=m.predictor,
+                                   table_bits=m.predictor_bits)
+            if memo is not None:
+                memo[bkey] = br
+        ikey = ("icache", m.icache, stack_depth)
+        if memo is not None and ikey in memo:
+            ic = memo[ikey]
+        else:
+            ic = ICache(m.icache).simulate(trace, stack_depth=stack_depth,
+                                           fast=fast)
+            if memo is not None:
+                memo[ikey] = ic
 
         retiring = trace.n_instrs / m.issue_width
         mem_stall, mlp = _memory_stall_cycles(trace, hier, m)

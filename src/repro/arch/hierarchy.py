@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .cache import Cache, CacheStats
+from .cache import Cache, CacheStats, line_ids
 from .machine import MachineConfig
 
 
@@ -61,18 +61,23 @@ class MemoryHierarchy:
         addrs = np.asarray(addrs, dtype=np.uint64)
         n = len(addrs)
         m = self.machine
-        l1_miss = self.l1.simulate(addrs, rw)
+        # One line-id precompute shared by every level with the same line
+        # size (all of them, on the shipped machines).
+        shared = line_ids(addrs, m.l1d.line)
+        l2_of = shared if m.l2.line == m.l1d.line else line_ids(addrs, m.l2.line)
+        l3_of = shared if m.l3.line == m.l1d.line else line_ids(addrs, m.l3.line)
+        l1_miss = self.l1.simulate(addrs, rw, lines=shared)
         l2_miss = np.zeros(n, dtype=bool)
         l3_miss = np.zeros(n, dtype=bool)
         idx1 = np.flatnonzero(l1_miss)
         if len(idx1):
             rw1 = rw[idx1] if rw is not None else None
-            m2 = self.l2.simulate(addrs[idx1], rw1)
+            m2 = self.l2.simulate(None, rw1, lines=l2_of[idx1])
             idx2 = idx1[m2]
             l2_miss[idx2] = True
             if len(idx2):
                 rw2 = rw[idx2] if rw is not None else None
-                m3 = self.l3.simulate(addrs[idx2], rw2)
+                m3 = self.l3.simulate(None, rw2, lines=l3_of[idx2])
                 l3_miss[idx2[m3]] = True
         latency = np.zeros(n, dtype=np.int32)
         latency[l1_miss] = m.l2.latency

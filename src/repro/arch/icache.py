@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.trace import FrozenTrace, Region
-from .cache import Cache, CacheConfig
+from .cache import Cache, CacheConfig, line_ids
 
 #: Base of the simulated code segment (distinct from the data heap).
 CODE_BASE = 0x4000_0000
@@ -104,26 +104,52 @@ class ICache:
     def reset(self) -> None:
         self._cache.reset()
 
-    def simulate(self, trace: FrozenTrace, stack_depth: int = 0
-                 ) -> ICacheStats:
+    def simulate(self, trace: FrozenTrace, stack_depth: int = 0,
+                 fast: bool = True) -> ICacheStats:
         """Replay ``trace``'s region visits; returns aggregate stats.
 
         ``stack_depth`` > 0 applies the deep-stack ablation transform.
+        With ``fast`` the LRU probes go through the count-only engine in
+        :mod:`repro.arch.replay` (identical miss totals); ``fast=False``
+        keeps the reference :class:`Cache` as the oracle.
         """
-        seq, regions = expand_visits(trace.region_seq, trace.regions,
-                                     stack_depth)
-        layout = layout_code(regions)
-        addrs: list[int] = []
-        prev = -1
-        for rid in seq.tolist():
-            if rid == prev:
-                continue          # straight-line execution within a region
-            prev = rid
-            base, n_lines = layout[rid]
-            for i in range(n_lines):
-                addrs.append(base + i * CODE_ALIGN)
-        if not addrs:
+        addrs = self._visit_addrs(trace, stack_depth)
+        if not len(addrs):
             return ICacheStats(0, 0)
-        self._cache.simulate(np.asarray(addrs, dtype=np.uint64))
+        if fast:
+            from .replay import lru_misses
+            cfg = self._cache.config
+            ids = line_ids(addrs, cfg.line)
+            return ICacheStats(len(addrs),
+                               lru_misses(ids, cfg.n_sets - 1, cfg.assoc))
+        self._cache.simulate(addrs)
         st = self._cache.stats
         return ICacheStats(st.accesses, st.misses)
+
+    def _visit_addrs(self, trace: FrozenTrace,
+                     stack_depth: int) -> np.ndarray:
+        """Line-touch address stream of the region-visit sequence:
+        consecutive duplicate visits collapse (straight-line execution
+        within a region), every surviving visit touches each of its
+        region's code lines in order."""
+        seq, regions = expand_visits(trace.region_seq, trace.regions,
+                                     stack_depth)
+        if not len(seq):
+            return np.empty(0, dtype=np.uint64)
+        layout = layout_code(regions)
+        keep = np.ones(len(seq), dtype=bool)
+        keep[1:] = seq[1:] != seq[:-1]
+        visits = seq[keep].astype(np.int64)
+        max_rid = max(layout)
+        base_lut = np.zeros(max_rid + 1, dtype=np.uint64)
+        nl_lut = np.zeros(max_rid + 1, dtype=np.int64)
+        for rid, (base, n_lines) in layout.items():
+            base_lut[rid] = base
+            nl_lut[rid] = n_lines
+        nv = nl_lut[visits]
+        total = int(nv.sum())
+        # ragged [0..n_lines) offsets per visit, fully vectorized
+        starts = np.concatenate(([0], np.cumsum(nv)[:-1]))
+        offs = np.arange(total, dtype=np.int64) - np.repeat(starts, nv)
+        return (np.repeat(base_lut[visits], nv)
+                + offs.astype(np.uint64) * np.uint64(CODE_ALIGN))

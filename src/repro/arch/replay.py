@@ -1,0 +1,244 @@
+"""Fused one-pass trace replay: L1D -> L2 -> L3 (+ DTLB) in a single loop.
+
+The reference simulators (:class:`repro.arch.hierarchy.MemoryHierarchy`,
+:class:`repro.arch.tlb.TLB`) replay the access stream once per level, each
+pass paying its own numpy->list conversion and Python loop.  Replay is the
+hot path behind every figure, the resilience matrix, and the serving stack,
+so this module fuses all four structures into **one** Python loop over the
+trace:
+
+* line/page ids are precomputed once per distinct granularity
+  (``addrs >> log2(line)``) and shared across levels — the shipped machines
+  all use 64-byte lines, so the division happens exactly once;
+* an L2 (L3) probe happens inline, only when the L1 (L2) probe misses,
+  exactly reproducing the miss-stream composition of the multi-pass
+  reference;
+* the DTLB is probed for every access in the same iteration.
+
+Because each level runs the identical insertion-ordered-dict LRU state
+machine over the identical per-level access substream, the resulting miss
+masks and stats are **bitwise identical** to the reference simulators —
+the reference stays in the tree as the cross-validation oracle (see
+``tests/test_replay.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cache import CacheConfig, CacheStats, line_ids
+from .hierarchy import HierarchyResult
+from .machine import MachineConfig
+from .tlb import TLBStats
+
+
+@dataclass
+class ReplayResult:
+    """Fused-engine output: hierarchy + DTLB results of one replay."""
+
+    hierarchy: HierarchyResult
+    tlb: TLBStats
+    tlb_miss: np.ndarray    # per-access bool, program order
+
+
+def _level(cfg: CacheConfig) -> tuple[list[dict[int, None]], int, int]:
+    """(sets, index mask, assoc) for one cache level (n_sets is pow2)."""
+    return [dict() for _ in range(cfg.n_sets)], cfg.n_sets - 1, cfg.assoc
+
+
+def _mru_skip(ids: np.ndarray, mask: int) -> np.ndarray:
+    """Per-access bool: this access's key equals its set's MRU at probe
+    time, i.e. it equals the previous access's key *in the same set*.
+
+    Such a probe is a guaranteed hit whose pop-then-reinsert leaves the
+    LRU order untouched, so the replay loop can skip it entirely without
+    changing any miss index or any subsequent eviction — the basis of the
+    fused engine's fast path.  Computed vectorized: a stable argsort by
+    set id groups the stream per set in program order; consecutive equal
+    keys within a group are exactly the MRU hits.
+    """
+    n = len(ids)
+    out = np.zeros(n, dtype=bool)
+    if n < 2:
+        return out
+    sets = ids & np.uint64(mask)
+    order = np.argsort(sets, kind="stable")
+    sid = sets[order]
+    key = ids[order]
+    eq = (sid[1:] == sid[:-1]) & (key[1:] == key[:-1])
+    out[order[1:][eq]] = True
+    return out
+
+
+def lru_misses(ids: np.ndarray, mask: int, assoc: int) -> int:
+    """Miss count of one LRU set-associative structure over ``ids`` —
+    the count-only fast path (used by the ICache model, where per-access
+    masks are not needed).  Bitwise-identical miss total to
+    :meth:`repro.arch.cache.Cache.simulate` over the same stream."""
+    live = ids[~_mru_skip(ids, mask)].tolist()
+    sets: list[dict[int, int]] = [dict() for _ in range(mask + 1)]
+    misses = 0
+    for ln in live:
+        s = sets[ln & mask]
+        if s.pop(ln, None) is None:
+            misses += 1
+            s[ln] = 1
+            if len(s) > assoc:
+                del s[next(iter(s))]
+        else:
+            s[ln] = 1
+    return misses
+
+
+def replay(addrs: np.ndarray, rw: np.ndarray | None,
+           machine: MachineConfig, *,
+           id_cache: dict[int, list[int]] | None = None) -> ReplayResult:
+    """Replay ``addrs`` through a cold hierarchy + DTLB in one pass.
+
+    ``id_cache`` optionally memoizes the line/page-id lists keyed by
+    granularity so a multi-machine sweep over one stored trace divides the
+    address stream only once (the benchmark uses this).
+    """
+    m = machine
+    n = len(addrs)
+
+    def ids_for(granularity: int) -> list[int]:
+        if id_cache is not None and granularity in id_cache:
+            return id_cache[granularity]
+        out = line_ids(addrs, granularity).tolist()
+        if id_cache is not None:
+            id_cache[granularity] = out
+        return out
+
+    l1_of = ids_for(m.l1d.line)
+    l2_of = l1_of if m.l2.line == m.l1d.line else ids_for(m.l2.line)
+    l3_of = l1_of if m.l3.line == m.l1d.line else ids_for(m.l3.line)
+    page = m.tlb.page
+    writes = None
+    if rw is not None:
+        writes = rw.tolist() if isinstance(rw, np.ndarray) else list(rw)
+
+    s1, mask1, a1 = _level(m.l1d)
+    s2, mask2, a2 = _level(m.l2)
+    s3, mask3, a3 = _level(m.l3)
+    st, maskt, at = _level(m.tlb.cache_config())
+
+    i1: list[int] = []      # miss indices per structure
+    i2: list[int] = []
+    i3: list[int] = []
+    it: list[int] = []
+    w1 = w2 = w3 = 0        # write misses per level
+    i1_append, i2_append = i1.append, i2.append
+    i3_append, it_append = i3.append, it.append
+
+    # MRU fast path: accesses whose key equals their set's MRU are
+    # guaranteed hits with no state change, precomputed vectorized — they
+    # never enter the replay loops at all.  The L1 chain and the DTLB are
+    # independent state machines, so each gets its own tight loop over its
+    # own live (non-MRU-hit) substream.  Keyed by (granularity, mask) in
+    # the id cache so a machine sweep computes each mask once.
+    def live_for(gran: int, mask: int) -> tuple[list[int], list[int]]:
+        ck = ("live", gran, mask)
+        if id_cache is not None and ck in id_cache:
+            return id_cache[ck]
+        arr = line_ids(addrs, gran)
+        keep = ~_mru_skip(arr, mask)
+        out = (np.flatnonzero(keep).tolist(), arr[keep].tolist())
+        if id_cache is not None:
+            id_cache[ck] = out
+        return out
+
+    live1, keys1 = live_for(m.l1d.line, mask1)
+    livet, keyst = live_for(page, maskt)
+    mru2 = [-1] * (mask2 + 1)
+    mru3 = [-1] * (mask3 + 1)
+
+    # Hot loops.  An LRU probe is pop-then-reinsert (2 dict ops on the hit
+    # path); the pop result doubles as the hit test, and reinsertion makes
+    # the key MRU whether it hit or missed — the same key order the
+    # reference's membership/del/insert sequence produces.  L2/L3 keep an
+    # inline per-set MRU shortcut (their substreams depend on upper-level
+    # misses, so they cannot be precomputed).  ``rw`` is only consulted on
+    # a miss, keeping the all-hits path free of it.
+    for i, ln in zip(live1, keys1):
+        s = s1[ln & mask1]
+        if s.pop(ln, None) is None:
+            i1_append(i)
+            if writes is not None and writes[i]:
+                w1 += 1
+            s[ln] = 1
+            if len(s) > a1:
+                del s[next(iter(s))]
+            ln = l2_of[i]
+            ix = ln & mask2
+            if mru2[ix] != ln:
+                mru2[ix] = ln
+                s = s2[ix]
+                if s.pop(ln, None) is None:
+                    i2_append(i)
+                    if writes is not None and writes[i]:
+                        w2 += 1
+                    s[ln] = 1
+                    if len(s) > a2:
+                        del s[next(iter(s))]
+                    ln = l3_of[i]
+                    ix = ln & mask3
+                    if mru3[ix] != ln:
+                        mru3[ix] = ln
+                        s = s3[ix]
+                        if s.pop(ln, None) is None:
+                            i3_append(i)
+                            if writes is not None and writes[i]:
+                                w3 += 1
+                            s[ln] = 1
+                            if len(s) > a3:
+                                del s[next(iter(s))]
+                        else:
+                            s[ln] = 1
+                else:
+                    s[ln] = 1
+        else:
+            s[ln] = 1
+
+    # DTLB: probed by every access, read-only (matches TLB.simulate)
+    for i, pg in zip(livet, keyst):
+        s = st[pg & maskt]
+        if s.pop(pg, None) is None:
+            it_append(i)
+            s[pg] = 1
+            if len(s) > at:
+                del s[next(iter(s))]
+        else:
+            s[pg] = 1
+
+    def mask_of(idx: list[int]) -> np.ndarray:
+        out = np.zeros(n, dtype=bool)
+        if idx:
+            out[np.asarray(idx, dtype=np.int64)] = True
+        return out
+
+    l1_miss = mask_of(i1)
+    l2_miss = mask_of(i2)
+    l3_miss = mask_of(i3)
+    tlb_miss = mask_of(it)
+    latency = np.zeros(n, dtype=np.int32)
+    latency[l1_miss] = m.l2.latency
+    latency[l2_miss] = m.l3.latency
+    latency[l3_miss] = m.mem_latency
+
+    def stats_of(cfg: CacheConfig, accesses: int, misses: int,
+                 wmiss: int) -> CacheStats:
+        return CacheStats(cfg.name, accesses=accesses, misses=misses,
+                          read_misses=misses - wmiss, write_misses=wmiss)
+
+    hier = HierarchyResult(
+        l1=stats_of(m.l1d, n, len(i1), w1),
+        l2=stats_of(m.l2, len(i1), len(i2), w2),
+        l3=stats_of(m.l3, len(i2), len(i3), w3),
+        l1_miss=l1_miss, l2_miss=l2_miss, l3_miss=l3_miss,
+        latency=latency)
+    tlb = TLBStats(accesses=n, misses=len(it),
+                   walk_latency=m.tlb.walk_latency)
+    return ReplayResult(hierarchy=hier, tlb=tlb, tlb_miss=tlb_miss)

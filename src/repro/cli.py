@@ -71,7 +71,8 @@ def cmd_run(args) -> int:
     from .harness.runner import run_cpu_workload
     spec = _spec(args)
     print(f"dataset: {spec}")
-    result, _ = run_cpu_workload(args.workload, spec)
+    result, _ = run_cpu_workload(args.workload, spec,
+                                 trace_store=args.trace_cache)
     for key, value in result.outputs.items():
         text = repr(value)
         print(f"  {key}: {text[:100] + '...' if len(text) > 100 else text}")
@@ -85,7 +86,7 @@ def cmd_characterize(args) -> int:
     spec = _spec(args)
     print(f"dataset: {spec}")
     print(f"machine: {describe(SCALED_XEON)}")
-    row = characterize(args.workload, spec)
+    row = characterize(args.workload, spec, trace_store=args.trace_cache)
     for key, value in sorted(row.cpu.summary().items()):
         print(f"  {key:22s} {value:12.4f}")
     return 0
@@ -141,7 +142,8 @@ def cmd_matrix(args) -> int:
     cells = matrix_cells(workloads, datasets, scale=args.scale,
                          seed=args.seed, machine=args.machine,
                          with_gpu=args.gpu,
-                         gpu_workloads=GPU_WORKLOAD_SET)
+                         gpu_workloads=GPU_WORKLOAD_SET,
+                         trace_store=args.trace_cache)
     config = ExecutorConfig(
         timeout_s=args.timeout,
         policy=RetryPolicy(max_retries=args.retries, seed=args.seed),
@@ -580,6 +582,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_common(sp):
         sp.add_argument("workload", help="workload name, e.g. BFS")
+        sp.add_argument("--trace-cache", default=None, metavar="DIR",
+                        help="content-addressed trace store directory: "
+                             "run the workload once, replay everywhere")
         sp.add_argument("--dataset", default="ldbc",
                         help="registry dataset key (default: ldbc)")
         sp.add_argument("--scale", type=float, default=0.25,
@@ -634,6 +639,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "cell attempt (testing the harness itself)")
     m.add_argument("--chaos-seed", type=int, default=0,
                    help="seed for the chaos RNG (default: 0)")
+    m.add_argument("--trace-cache", default=None, metavar="DIR",
+                   help="content-addressed trace store: each (workload, "
+                        "dataset) executes once; machine variants replay "
+                        "the stored trace")
     m.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write per-cell spans (with retry children) as "
                         "Chrome Trace Event JSON — open in about:tracing")

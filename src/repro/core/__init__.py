@@ -39,6 +39,13 @@ from .taxonomy import (
     WorkloadCategory,
 )
 from .trace import FrozenTrace, Region, Tracer
+from .tracestore import (
+    TRACE_FORMAT_VERSION,
+    StoredTrace,
+    TraceStore,
+    TraceStoreKeyError,
+    TraceStoreStats,
+)
 
 __all__ = [
     "AGED_HEAP", "COMPUTATION_PROFILES", "CellCrash", "CellExecutionError",
@@ -48,8 +55,9 @@ __all__ = [
     "HarnessError", "MetricsUnavailable", "RetriesExhausted",
     "HeapModel", "LINE_SIZE", "PACKED_HEAP", "PAGE_SIZE", "PropertyGraph",
     "PropertyStats", "Region", "Schema", "SchemaError", "SimAllocator",
-    "PropertyIndex", "TraceError", "Tracer", "Vertex", "VertexNotFound",
-    "create_index",
+    "PropertyIndex", "StoredTrace", "TRACE_FORMAT_VERSION", "TraceError",
+    "TraceStore", "TraceStoreKeyError", "TraceStoreStats", "Tracer",
+    "Vertex", "VertexNotFound", "create_index",
     "ComputationProfile", "ComputationType", "DataSource",
     "DataSourceProfile", "WorkloadCategory",
 ]

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator
 
+import numpy as np
+
 from .errors import (
     DuplicateEdge,
     DuplicateVertex,
@@ -447,6 +449,41 @@ class PropertyGraph:
         t.br(T.B_EDGE_LOOP, False)
         t.leave()
 
+    def neighbor_ids(self, v: Vertex | int) -> list[int]:
+        """Block form of *traverse-neighbours*: scan the whole out-edge
+        list at once and return the destination ids.
+
+        Emits the same access and branch stream as draining
+        :meth:`neighbors` with no user work between steps, but through the
+        tracer's vectorized bulk API — one batch of numpy ops instead of a
+        Python loop per edge.  Use it when the kernel snapshots a full
+        adjacency list; keep the generator when per-edge user work
+        interleaves with the walk.
+        """
+        if isinstance(v, int):
+            v = self.find_vertex(v)
+        t = self.t
+        if t is None:
+            return list(v.out.keys())
+        t.enter(T.R_NEIGHBORS)
+        t.i(2)
+        t.r(v.addr + V_HEAD_OFF)
+        k = len(v.out)
+        if k:
+            node_addrs = np.fromiter((n.addr for n in v.out.values()),
+                                     np.uint64, count=k)
+            node_addrs += np.uint64(E_DST_OFF)
+            sp = ((self._sp + 1 + np.arange(k, dtype=np.uint64))
+                  & np.uint64(3))
+            stack_addrs = np.uint64(self._stack_base) + np.uint64(64) * sp
+            self._sp = (self._sp + k) & 3
+            t.bulk_scan((stack_addrs, node_addrs),
+                        instrs_per_step=C_EDGE_STEP)
+            t.bulk_branches(T.B_EDGE_LOOP, True, k)
+        t.br(T.B_EDGE_LOOP, False)
+        t.leave()
+        return list(v.out.keys())
+
     def in_neighbors(self, v: Vertex | int) -> Iterator[int]:
         """Walk the in-reference list (used by GUp / TMorph / DCentr)."""
         if isinstance(v, int):
@@ -489,6 +526,37 @@ class PropertyGraph:
             t.enter(T.R_VERTEX_SCAN)
         t.br(T.B_VERTEX_SCAN, False)
         t.leave()
+
+    def scan_vertices(self) -> list[Vertex]:
+        """Block form of *vertex-scan*: one vectorized pass over the index
+        and vertex structs, returning every vertex handle.
+
+        Same access/branch stream as draining :meth:`vertices` with no
+        interleaved user work, emitted through the tracer's bulk API.
+        """
+        t = self.t
+        vs = list(self._v.values())
+        if t is None:
+            return vs
+        t.enter(T.R_VERTEX_SCAN)
+        k = len(vs)
+        if k:
+            sp = ((self._sp + 1 + np.arange(k, dtype=np.uint64))
+                  & np.uint64(3))
+            stack_addrs = np.uint64(self._stack_base) + np.uint64(64) * sp
+            self._sp = (self._sp + k) & 3
+            vids = np.fromiter((v.vid for v in vs), np.uint64, count=k)
+            idx_addrs = (np.uint64(self._index_base)
+                         + np.uint64(INDEX_ENTRY)
+                         * (vids % np.uint64(self._index_cap)))
+            struct_addrs = np.fromiter((v.addr for v in vs), np.uint64,
+                                       count=k) + np.uint64(V_ID_OFF)
+            t.bulk_scan((stack_addrs, idx_addrs, struct_addrs),
+                        instrs_per_step=C_SCAN_STEP)
+            t.bulk_branches(T.B_VERTEX_SCAN, True, k)
+        t.br(T.B_VERTEX_SCAN, False)
+        t.leave()
+        return vs
 
     def degree(self, v: Vertex | int) -> int:
         """Out-degree, reading the degree field of the vertex struct."""

@@ -123,21 +123,168 @@ class FrozenTrace:
         return self.fw_instrs / self.n_instrs
 
 
+#: Events per preallocated buffer chunk (~1.3 MB per access chunk).
+_CHUNK = 1 << 16
+
+
+def _cat(parts: list[np.ndarray], dtype) -> np.ndarray:
+    """Concatenate chunk parts into a freshly owned array.
+
+    Always copies — a frozen column must never alias a live chunk buffer
+    the tracer may keep writing into.
+    """
+    if not parts:
+        return np.empty(0, dtype=dtype)
+    if len(parts) == 1:
+        return parts[0].copy()
+    return np.concatenate(parts)
+
+
+class _AccessBuf:
+    """Growable chunked storage for the four per-access event columns.
+
+    Appends write into a preallocated numpy chunk; when a chunk fills, it
+    is sealed and a fresh one allocated.  This replaces six parallel
+    Python lists: ~3x less memory (machine ints, not PyObject boxes) and a
+    near-free :meth:`frozen` (no per-element list->array conversion).
+    """
+
+    __slots__ = ("_cap", "_full", "_addr", "_rw", "_iat", "_reg", "_pos",
+                 "count")
+
+    def __init__(self, chunk: int = _CHUNK):
+        self._cap = chunk
+        self.clear()
+
+    def clear(self) -> None:
+        self._full: list[tuple[np.ndarray, ...]] = []
+        self._alloc()
+        self.count = 0
+
+    def _alloc(self) -> None:
+        self._addr = np.empty(self._cap, np.uint64)
+        self._rw = np.empty(self._cap, np.uint8)
+        self._iat = np.empty(self._cap, np.uint64)
+        self._reg = np.empty(self._cap, np.uint32)
+        self._pos = 0
+
+    def _seal(self) -> None:
+        p = self._pos
+        if p:
+            self._full.append((self._addr[:p], self._rw[:p],
+                               self._iat[:p], self._reg[:p]))
+            self._alloc()
+
+    def append(self, addr: int, rw: int, iat: int, reg: int) -> None:
+        p = self._pos
+        if p == self._cap:
+            self._full.append((self._addr, self._rw, self._iat, self._reg))
+            self._alloc()
+            p = 0
+        self._addr[p] = addr
+        self._rw[p] = rw
+        self._iat[p] = iat
+        self._reg[p] = reg
+        self._pos = p + 1
+        self.count += 1
+
+    def extend(self, addrs: np.ndarray, rw: int, iat: np.ndarray,
+               reg: int) -> None:
+        """Vectorized batch append; ``rw``/``reg`` broadcast to the batch.
+
+        ``addrs``/``iat`` must be freshly built (or copied) by the caller —
+        the buffer takes ownership of them.
+        """
+        k = len(addrs)
+        if not k:
+            return
+        self._seal()
+        self._full.append((np.asarray(addrs, np.uint64),
+                           np.full(k, rw, np.uint8),
+                           np.asarray(iat, np.uint64),
+                           np.full(k, reg, np.uint32)))
+        self.count += k
+
+    def frozen(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        parts = list(self._full)
+        p = self._pos
+        if p:
+            parts.append((self._addr[:p], self._rw[:p],
+                          self._iat[:p], self._reg[:p]))
+        dts = (np.uint64, np.uint8, np.uint64, np.uint32)
+        return tuple(_cat([pt[j] for pt in parts], dts[j])
+                     for j in range(4))
+
+
+class _BranchBuf:
+    """Growable chunked storage for the two branch-event columns."""
+
+    __slots__ = ("_cap", "_full", "_site", "_taken", "_pos", "count")
+
+    def __init__(self, chunk: int = _CHUNK):
+        self._cap = chunk
+        self.clear()
+
+    def clear(self) -> None:
+        self._full: list[tuple[np.ndarray, np.ndarray]] = []
+        self._alloc()
+        self.count = 0
+
+    def _alloc(self) -> None:
+        self._site = np.empty(self._cap, np.uint32)
+        self._taken = np.empty(self._cap, np.uint8)
+        self._pos = 0
+
+    def _seal(self) -> None:
+        p = self._pos
+        if p:
+            self._full.append((self._site[:p], self._taken[:p]))
+            self._alloc()
+
+    def append(self, site: int, taken: int) -> None:
+        p = self._pos
+        if p == self._cap:
+            self._full.append((self._site, self._taken))
+            self._alloc()
+            p = 0
+        self._site[p] = site
+        self._taken[p] = taken
+        self._pos = p + 1
+        self.count += 1
+
+    def extend(self, sites: np.ndarray, taken: np.ndarray) -> None:
+        k = len(sites)
+        if not k:
+            return
+        self._seal()
+        self._full.append((np.asarray(sites, np.uint32),
+                           np.asarray(taken, np.uint8)))
+        self.count += k
+
+    def frozen(self) -> tuple[np.ndarray, np.ndarray]:
+        parts = list(self._full)
+        p = self._pos
+        if p:
+            parts.append((self._site[:p], self._taken[:p]))
+        return (_cat([pt[0] for pt in parts], np.uint32),
+                _cat([pt[1] for pt in parts], np.uint8))
+
+
 class Tracer:
     """Append-only event recorder attached to a :class:`PropertyGraph`.
 
     Hot-path methods are single-letter (:meth:`r`, :meth:`w`, :meth:`i`,
     :meth:`br`) because they are called per memory access / branch; the
-    descriptive aliases (``read``/``write``/...) delegate to them.
+    descriptive aliases (``read``/``write``/...) delegate to them.  Bulk
+    producers (the graph scan primitives, format converters) should use
+    the vectorized :meth:`bulk_reads` / :meth:`bulk_writes` /
+    :meth:`bulk_scan` instead — events land in preallocated numpy chunk
+    buffers, so a batch costs a few array ops rather than a Python loop.
     """
 
     def __init__(self):
-        self._addrs: list[int] = []
-        self._rw: list[int] = []
-        self._iat: list[int] = []
-        self._acc_region: list[int] = []
-        self._bsites: list[int] = []
-        self._btaken: list[int] = []
+        self._acc = _AccessBuf()
+        self._br = _BranchBuf()
         self._rseq: list[int] = [R_IDLE]
         self._rcnt: list[int] = [0]
         self._rstack: list[int] = [R_IDLE]
@@ -187,19 +334,13 @@ class Tracer:
     # -- hot-path event recording -------------------------------------------
     def r(self, addr: int) -> None:
         """Record a load of ``addr``."""
-        self._addrs.append(addr)
-        self._rw.append(0)
-        self._iat.append(self.n)
-        self._acc_region.append(self._cur_rid)
+        self._acc.append(addr, 0, self.n, self._cur_rid)
         if self._cur_fw:
             self.fw_accesses += 1
 
     def w(self, addr: int) -> None:
         """Record a store to ``addr``."""
-        self._addrs.append(addr)
-        self._rw.append(1)
-        self._iat.append(self.n)
-        self._acc_region.append(self._cur_rid)
+        self._acc.append(addr, 1, self.n, self._cur_rid)
         if self._cur_fw:
             self.fw_accesses += 1
 
@@ -212,8 +353,7 @@ class Tracer:
 
     def br(self, site: int, taken: bool) -> None:
         """Record a conditional branch outcome at static ``site``."""
-        self._bsites.append(site)
-        self._btaken.append(1 if taken else 0)
+        self._br.append(site, 1 if taken else 0)
 
     # descriptive aliases
     read = r
@@ -221,51 +361,116 @@ class Tracer:
     instr = i
     branch = br
 
-    # -- bulk recording (vectorized producers, e.g. format converters) ------
+    # -- bulk recording (vectorized producers: scans, format converters) ----
+    def _bulk(self, addrs, is_write: bool, instrs_per_access: int) -> None:
+        a = np.array(addrs, dtype=np.uint64)    # owned copy
+        k = len(a)
+        if not k:
+            return
+        p = int(instrs_per_access)
+        iat = (np.uint64(self.n)
+               + np.uint64(p) * np.arange(1, k + 1, dtype=np.uint64))
+        self._acc.extend(a, 1 if is_write else 0, iat, self._cur_rid)
+        total = p * k
+        self.n += total
+        self._rcnt[-1] += total
+        if self._cur_fw:
+            self.fw_instrs += total
+            self.fw_accesses += k
+
     def bulk_reads(self, addrs, instrs_per_access: int = 2) -> None:
-        """Record a batch of loads at ``addrs`` (iterable of ints),
-        charging ``instrs_per_access`` instructions around each."""
-        for a in addrs:
-            self.i(instrs_per_access)
-            self.r(a)
+        """Record a batch of loads at ``addrs`` (array/iterable of ints),
+        charging ``instrs_per_access`` instructions before each — exactly
+        equivalent to ``for a in addrs: t.i(ipa); t.r(a)``, but vectorized
+        (a few numpy ops instead of a per-element Python loop)."""
+        self._bulk(addrs, False, instrs_per_access)
 
     def bulk_writes(self, addrs, instrs_per_access: int = 2) -> None:
         """Record a batch of stores (see :meth:`bulk_reads`)."""
-        for a in addrs:
-            self.i(instrs_per_access)
-            self.w(a)
+        self._bulk(addrs, True, instrs_per_access)
+
+    def bulk_scan(self, addr_cols, instrs_per_step: int = 2) -> None:
+        """Record one scan step per row of ``addr_cols``: charge
+        ``instrs_per_step`` instructions, then load each column's address
+        (all loads of a step share the post-charge instruction index).
+
+        Exactly equivalent to the per-element loop
+        ``for j in range(k): t.i(s); t.r(c0[j]); t.r(c1[j]); ...`` —
+        this is what the graph's bulk neighbor/vertex scan primitives emit.
+        """
+        cols = [np.asarray(c, dtype=np.uint64) for c in addr_cols]
+        k = len(cols[0])
+        if not k:
+            return
+        c = len(cols)
+        addrs = np.empty(k * c, dtype=np.uint64)
+        for j, col in enumerate(cols):
+            addrs[j::c] = col
+        s = int(instrs_per_step)
+        step_iat = (np.uint64(self.n)
+                    + np.uint64(s) * np.arange(1, k + 1, dtype=np.uint64))
+        iat = np.repeat(step_iat, c) if c > 1 else step_iat
+        self._acc.extend(addrs, 0, iat, self._cur_rid)
+        total = s * k
+        self.n += total
+        self._rcnt[-1] += total
+        if self._cur_fw:
+            self.fw_instrs += total
+            self.fw_accesses += k * c
+
+    def bulk_branches(self, site: int, taken, count: int | None = None
+                      ) -> None:
+        """Record a batch of branch outcomes at static ``site``.
+
+        ``taken`` is either a scalar bool (with ``count`` repetitions) or
+        an array of outcomes.
+        """
+        if isinstance(taken, (bool, int)):
+            if not count:
+                return
+            sites = np.full(count, site, np.uint32)
+            outcomes = np.full(count, 1 if taken else 0, np.uint8)
+        else:
+            outcomes = np.asarray(taken).astype(np.uint8)
+            if not len(outcomes):
+                return
+            sites = np.full(len(outcomes), site, np.uint32)
+        self._br.extend(sites, outcomes)
 
     # -- finishing -----------------------------------------------------------
     @property
     def n_accesses(self) -> int:
-        return len(self._addrs)
+        return self._acc.count
 
     def freeze(self) -> FrozenTrace:
-        """Convert the accumulated events into a :class:`FrozenTrace`."""
+        """Convert the accumulated events into a :class:`FrozenTrace`.
+
+        Idempotent and aliasing-safe: every returned array is freshly
+        owned, so freezing twice, or mutating/resetting the tracer after a
+        freeze, never changes a previously returned trace.
+        """
+        addrs, rw, iat, acc_region = self._acc.frozen()
+        bsites, btaken = self._br.frozen()
         return FrozenTrace(
-            addrs=np.asarray(self._addrs, dtype=np.uint64),
-            rw=np.asarray(self._rw, dtype=np.uint8),
-            iat=np.asarray(self._iat, dtype=np.uint64),
-            acc_region=np.asarray(self._acc_region, dtype=np.uint32),
-            branch_sites=np.asarray(self._bsites, dtype=np.uint32),
-            branch_taken=np.asarray(self._btaken, dtype=np.uint8),
+            addrs=addrs,
+            rw=rw,
+            iat=iat,
+            acc_region=acc_region,
+            branch_sites=bsites,
+            branch_taken=btaken,
             region_seq=np.asarray(self._rseq, dtype=np.uint32),
             region_instrs=np.asarray(self._rcnt, dtype=np.uint64),
             regions=dict(self.regions),
             n_instrs=self.n,
             fw_instrs=self.fw_instrs,
             fw_accesses=self.fw_accesses,
-            n_accesses=len(self._addrs),
+            n_accesses=self._acc.count,
         )
 
     def reset(self) -> None:
         """Drop all recorded events (keeps registered regions/sites)."""
-        self._addrs.clear()
-        self._rw.clear()
-        self._iat.clear()
-        self._acc_region.clear()
-        self._bsites.clear()
-        self._btaken.clear()
+        self._acc.clear()
+        self._br.clear()
         self._rseq = [R_IDLE]
         self._rcnt = [0]
         self._rstack = [R_IDLE]

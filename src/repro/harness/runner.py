@@ -11,6 +11,7 @@ share one characterization pass.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -22,6 +23,7 @@ from ..core.errors import MetricsUnavailable
 from ..core.graph import PropertyGraph
 from ..core.taxonomy import ComputationType
 from ..core.trace import Tracer
+from ..core.tracestore import TraceStore, TraceStoreKeyError
 from ..datagen.registry import make as make_dataset
 from ..datagen.spec import GraphSpec
 from ..gpu.device import K40, DeviceConfig, GPUMetrics
@@ -75,11 +77,55 @@ _CACHE = LRUCache(capacity=512)
 def clear_cache() -> None:
     """Drop memoized characterization rows (for tests)."""
     _CACHE.clear()
+    _SWEEP_MEMOS.clear()
 
 
-def cache_stats() -> dict[str, float]:
-    """Hit/miss/eviction counters of the characterization memo."""
-    return _CACHE.stats.as_dict()
+# Per-trace scratch memos for machine sweeps over stored traces: keyed by
+# the trace's content key, holding machine-invariant sub-results (branch
+# prediction, ICache stats, replay id precompute — see CPUModel.run).
+# Bounded: a sweep touches few distinct traces at a time.
+_SWEEP_MEMOS: dict[str, dict] = {}
+_SWEEP_MEMO_LIMIT = 8
+
+
+def _sweep_memo(key: str) -> dict:
+    memo = _SWEEP_MEMOS.get(key)
+    if memo is None:
+        if len(_SWEEP_MEMOS) >= _SWEEP_MEMO_LIMIT:
+            _SWEEP_MEMOS.pop(next(iter(_SWEEP_MEMOS)))
+        memo = _SWEEP_MEMOS[key] = {}
+    return memo
+
+
+#: Process-wide default trace store (None = traces are not persisted).
+_TRACE_STORE: TraceStore | None = None
+
+
+def _as_store(store: TraceStore | str | Path | None) -> TraceStore | None:
+    if store is None or isinstance(store, TraceStore):
+        return store
+    return TraceStore(store)
+
+
+def set_default_trace_store(store: TraceStore | str | Path | None
+                            ) -> TraceStore | None:
+    """Install (or clear, with ``None``) the process-wide default trace
+    store used when callers do not pass ``trace_store=`` explicitly."""
+    global _TRACE_STORE
+    _TRACE_STORE = _as_store(store)
+    return _TRACE_STORE
+
+
+def default_trace_store() -> TraceStore | None:
+    return _TRACE_STORE
+
+
+def cache_stats() -> dict[str, dict[str, float] | None]:
+    """Counters of the row memo and (when configured) the trace store,
+    one scrape for both caching layers."""
+    return {"rows": _CACHE.stats.as_dict(),
+            "trace_store": (_TRACE_STORE.stats.as_dict()
+                            if _TRACE_STORE is not None else None)}
 
 
 def _build_graph(spec: GraphSpec, tracer=None) -> PropertyGraph:
@@ -111,17 +157,61 @@ def _dagify(spec: GraphSpec) -> list[tuple[int, int]]:
     return list(zip(src[keep][idx].tolist(), dst[keep][idx].tolist()))
 
 
+def _scalar_items(d: dict[str, Any]) -> dict[str, Any]:
+    """JSON-safe scalar subset of a workload's outputs/params (what the
+    trace store sidecar can carry)."""
+    out: dict[str, Any] = {}
+    for k, v in d.items():
+        if v is None or isinstance(v, (bool, int, float, str)):
+            out[k] = v
+        elif isinstance(v, (np.integer, np.floating)):
+            out[k] = v.item()
+    return out
+
+
 def run_cpu_workload(name: str, spec: GraphSpec, *,
                      machine: MachineConfig = SCALED_XEON,
                      gibbs_bn=None,
-                     params: dict[str, Any] | None = None
+                     params: dict[str, Any] | None = None,
+                     trace_store: TraceStore | str | Path | None = None,
+                     fast: bool = True
                      ) -> tuple[WorkloadResult, CPUMetrics]:
     """Run one CPU workload on ``spec`` and characterize its trace.
 
     Handles each workload's input discipline: GCons gets an empty graph
     plus the edge list, GUp deletes from a prebuilt graph, TMorph runs on
     the DAG-ified dataset, Gibbs on a MUNIN-like network.
+
+    With a ``trace_store`` (or an installed process default, see
+    :func:`set_default_trace_store`), the frozen trace is persisted under
+    its content key and subsequent calls — any machine — skip workload
+    execution and replay the stored trace.  The trace is machine-
+    independent by construction, so replayed metrics are identical to
+    re-running the workload.  Runs with a caller-supplied ``gibbs_bn``
+    bypass the store (a live object cannot be content-keyed safely).
     """
+    store = _as_store(trace_store)
+    if store is None:
+        store = _TRACE_STORE
+    key = None
+    if store is not None and gibbs_bn is None:
+        try:
+            key = store.key_for(name, spec, params)
+        except TraceStoreKeyError:
+            key = None
+    if key is not None:
+        stored = store.load(key)
+        if stored is not None:
+            with maybe_span(None, f"replay:{name}", workload=name,
+                            dataset=spec.name, served="trace-store"):
+                metrics = CPUModel(machine).run(
+                    stored.trace, footprint_bytes=stored.footprint_bytes,
+                    fast=fast, memo=_sweep_memo(key) if fast else None)
+            result = WorkloadResult(name=name, outputs=dict(stored.outputs),
+                                    trace=stored.trace,
+                                    params=dict(stored.params),
+                                    footprint_bytes=stored.footprint_bytes)
+            return result, metrics
     wl = WORKLOADS[name]()
     tracer = Tracer()
     params = dict(params or {})
@@ -151,8 +241,17 @@ def run_cpu_workload(name: str, spec: GraphSpec, *,
         if name == "BCentr":
             params.setdefault("n_sources", 4)
     result = wl.run(g, tracer=tracer, **params)
-    metrics = CPUModel(machine).run(result.trace,
-                                    footprint_bytes=g.alloc.footprint)
+    metrics = CPUModel(machine).run(
+        result.trace, footprint_bytes=g.alloc.footprint, fast=fast,
+        memo=_sweep_memo(key) if key is not None and fast else None)
+    if key is not None:
+        store.save(key, result.trace,
+                   footprint_bytes=g.alloc.footprint,
+                   outputs=_scalar_items(result.outputs),
+                   params=_scalar_items(result.params),
+                   provenance={"workload": name, "dataset": spec.name,
+                               "n": int(spec.n), "m": int(spec.m),
+                               "seed": spec.seed})
     return result, metrics
 
 
@@ -171,7 +270,8 @@ def characterize(name: str, spec: GraphSpec, *,
                  with_gpu: bool = False,
                  cache_key: tuple | None = None,
                  memo: bool = True,
-                 tracer=None) -> Row:
+                 tracer=None,
+                 trace_store: TraceStore | str | Path | None = None) -> Row:
     """Full characterization of one workload on one dataset (memoized).
 
     ``memo=False`` bypasses the memo entirely (no lookup, no fill) —
@@ -180,6 +280,9 @@ def characterize(name: str, spec: GraphSpec, *,
     :class:`~repro.obs.SpanTracer`) the pass records a
     ``characterize:<workload>:<dataset>`` span with ``cpu``/``gpu``
     child phases; a memo hit closes immediately, tagged ``served=memo``.
+    ``trace_store=`` makes a machine sweep run the workload once and
+    replay every other machine from the stored trace (see
+    :func:`run_cpu_workload`).
     """
     # MachineConfig is a frozen dataclass: hashing the whole config (not
     # just its name) keeps two differently-tuned machines with the same
@@ -198,7 +301,8 @@ def characterize(name: str, spec: GraphSpec, *,
                 return row
         span_args["served"] = "computed"
         with maybe_span(tracer, f"cpu:{name}", workload=name):
-            result, cpu = run_cpu_workload(name, spec, machine=machine)
+            result, cpu = run_cpu_workload(name, spec, machine=machine,
+                                           trace_store=trace_store)
         row = Row(workload=name, dataset=spec.name,
                   ctype=WORKLOADS[name].CTYPE, cpu=cpu, result=result)
         if with_gpu and name in GPU_WORKLOAD_SET:

@@ -47,6 +47,10 @@ class Cell:
     seed: int = 0
     machine: str = "scaled"      # key into MACHINES
     with_gpu: bool = False
+    #: Trace-store directory (optional).  Execution detail, not identity:
+    #: a cell computes the same metrics with or without the store, so it
+    #: stays out of :attr:`cell_id` and old journal records rehydrate fine.
+    trace_store: str | None = None
 
     def __post_init__(self):
         if self.machine not in MACHINES:
@@ -83,7 +87,8 @@ def run_cell(cell: Cell, tracer_hook=None):
     spec = make_dataset(cell.dataset, scale=cell.scale, seed=cell.seed)
     return characterize(cell.workload, spec,
                         machine=cell.machine_config(),
-                        with_gpu=cell.with_gpu)
+                        with_gpu=cell.with_gpu,
+                        trace_store=cell.trace_store)
 
 
 # -- JSON record <-> Row ----------------------------------------------------

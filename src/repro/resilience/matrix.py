@@ -83,12 +83,16 @@ def _labelled(row, cell: Cell):
 def matrix_cells(workloads: Sequence[str], datasets: Sequence[str], *,
                  scale: float = 1.0, seed: int = 0,
                  machine: str = "scaled", with_gpu: bool = False,
-                 gpu_workloads: Sequence[str] = ()) -> list[Cell]:
+                 gpu_workloads: Sequence[str] = (),
+                 trace_store: str | None = None) -> list[Cell]:
     """The deterministic cell ordering of a sweep (dataset-major, matching
-    the figure tables' row order)."""
+    the figure tables' row order).  ``trace_store`` (a directory path)
+    lets every cell persist/replay its workload trace — a multi-machine
+    sweep executes each (workload, dataset) only once."""
     return [Cell(workload=w, dataset=d, scale=scale, seed=seed,
                  machine=machine,
-                 with_gpu=with_gpu and w in gpu_workloads)
+                 with_gpu=with_gpu and w in gpu_workloads,
+                 trace_store=trace_store)
             for d in datasets for w in workloads]
 
 

@@ -330,6 +330,13 @@ class GraphService:
         return record
 
     def stats(self) -> dict[str, Any]:
+        cache = self.caches.stats()
+        # surface the harness trace store next to the row/service tiers so
+        # one scrape shows every caching layer's efficacy
+        from ..harness.runner import default_trace_store
+        store = default_trace_store()
+        if store is not None:
+            cache = dict(cache, trace_store=store.stats.as_dict())
         return {"protocol": PROTOCOL_VERSION,
                 "server": __version__,
                 "connections": self.connections,
@@ -337,7 +344,7 @@ class GraphService:
                 "scheduler": dict(self.scheduler.stats.as_dict(),
                                   pending=self.scheduler.pending),
                 "pool": self.pool.stats.as_dict(),
-                "cache": self.caches.stats(),
+                "cache": cache,
                 "metrics": self.registry.snapshot()}
 
 

@@ -30,11 +30,12 @@ class KCore(Workload):
 
     def kernel(self, g: PropertyGraph, t, **_: Any) -> dict[str, Any]:
         site_shift = t.register_branch_site()
-        # undirected adjacency snapshot via primitives
+        # undirected adjacency snapshot via the block scan primitives
+        # (whole lists are consumed, so the bulk API applies)
         ids = sorted(g.vertex_ids())
         adj: dict[int, set[int]] = {vid: set() for vid in ids}
-        for v in g.vertices():
-            for dst, _node in g.neighbors(v):
+        for v in g.scan_vertices():
+            for dst in g.neighbor_ids(v):
                 t.i(2)
                 adj[v.vid].add(dst)
                 adj[dst].add(v.vid)

@@ -44,8 +44,8 @@ class TC(Workload):
             sorted(ids, key=lambda v: (deg[v], v)))}
         t.i(6 * len(ids))     # the ranking pass
         higher: dict[int, list[int]] = {vid: [] for vid in ids}
-        for v in g.vertices():
-            for dst, _node in g.neighbors(v):
+        for v in g.scan_vertices():
+            for dst in g.neighbor_ids(v):
                 t.i(2)
                 if v.vid == dst:
                     continue

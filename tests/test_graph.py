@@ -193,6 +193,74 @@ class TestTraversal:
         assert len(t._rstack) == 1
 
 
+class TestBlockPrimitives:
+    """scan_vertices()/neighbor_ids() must emit the exact stream of the
+    generator primitives they replace (vertices()/neighbors(), drained)."""
+
+    _COLS = ("addrs", "rw", "iat", "acc_region",
+             "branch_sites", "branch_taken")
+
+    def _graph(self, schema):
+        t = Tracer()
+        g = PropertyGraph(schema, tracer=t)
+        for i in range(12):
+            g.add_vertex(i)
+        for i in range(12):
+            g.add_edge(i, (i + 1) % 12)
+            g.add_edge(i, (i + 5) % 12)
+        return g, t
+
+    def _capture(self, g, t, fn):
+        # same graph for both captures: heap addresses must match, and the
+        # scan-stack pointer must start from the same rotation
+        t.reset()
+        g._sp = 0
+        out = fn()
+        return out, t.freeze()
+
+    def test_scan_vertices_matches_generator(self, schema):
+        g, t = self._graph(schema)
+        ids_gen, ft_gen = self._capture(
+            g, t, lambda: [v.vid for v in g.vertices()])
+        ids_blk, ft_blk = self._capture(
+            g, t, lambda: [v.vid for v in g.scan_vertices()])
+        assert ids_blk == ids_gen
+        import numpy as np
+        for f in self._COLS:
+            assert np.array_equal(getattr(ft_gen, f),
+                                  getattr(ft_blk, f)), f
+        assert ft_blk.n_instrs == ft_gen.n_instrs
+        assert ft_blk.fw_accesses == ft_gen.fw_accesses
+
+    def test_neighbor_ids_matches_generator(self, schema):
+        g, t = self._graph(schema)
+        v = g.find_vertex(3)
+        gen, ft_gen = self._capture(
+            g, t, lambda: [d for d, _ in g.neighbors(v)])
+        blk, ft_blk = self._capture(g, t, lambda: g.neighbor_ids(v))
+        assert blk == gen
+        import numpy as np
+        for f in self._COLS:
+            assert np.array_equal(getattr(ft_gen, f),
+                                  getattr(ft_blk, f)), f
+        assert ft_blk.n_instrs == ft_gen.n_instrs
+
+    def test_neighbor_ids_empty_vertex(self, schema):
+        t = Tracer()
+        g = PropertyGraph(schema, tracer=t)
+        g.add_vertex(0)
+        assert g.neighbor_ids(0) == []
+        assert len(t._rstack) == 1
+
+    def test_untraced_graph(self, schema):
+        g = PropertyGraph(schema)
+        g.add_vertex(0)
+        g.add_vertex(1)
+        g.add_edge(0, 1)
+        assert [v.vid for v in g.scan_vertices()] == [0, 1]
+        assert g.neighbor_ids(0) == [1]
+
+
 class TestProperties:
     def test_vset_vget(self, g):
         v = g.add_vertex(1)

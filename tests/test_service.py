@@ -639,11 +639,11 @@ class TestHarnessMemo:
 
         clear_cache()
         spec = make("ldbc", scale=0.03)
-        before = cache_stats()["hits"]
+        before = cache_stats()["rows"]["hits"]
         row1 = characterize("BFS", spec, machine=TEST_MACHINE)
         row2 = characterize("BFS", spec, machine=TEST_MACHINE)
         assert row1 is row2
-        assert cache_stats()["hits"] == before + 1
+        assert cache_stats()["rows"]["hits"] == before + 1
 
     def test_memo_false_bypasses_cache(self):
         from repro.datagen.registry import make

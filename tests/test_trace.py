@@ -161,6 +161,136 @@ class TestReset:
         assert rid in t.regions
 
 
+class TestFreezeIsolation:
+    """Freeze must be idempotent and never alias live tracer buffers
+    (regression for the array-backed tracer's chunk reuse)."""
+
+    def _fill(self, t, base=0):
+        for j in range(5):
+            t.i(2)
+            t.r(base + 64 * j)
+        t.br(T.B_EDGE_LOOP, True)
+
+    def test_mutating_after_freeze_leaves_frozen_unchanged(self):
+        t = Tracer()
+        self._fill(t)
+        ft = t.freeze()
+        addrs_before = ft.addrs.copy()
+        iat_before = ft.iat.copy()
+        taken_before = ft.branch_taken.copy()
+        self._fill(t, base=10_000)      # keeps writing into live chunks
+        t.br(T.B_EDGE_LOOP, False)
+        assert np.array_equal(ft.addrs, addrs_before)
+        assert np.array_equal(ft.iat, iat_before)
+        assert np.array_equal(ft.branch_taken, taken_before)
+
+    def test_freeze_twice_is_identical_and_independent(self):
+        t = Tracer()
+        self._fill(t)
+        f1 = t.freeze()
+        f2 = t.freeze()
+        assert np.array_equal(f1.addrs, f2.addrs)
+        assert f1.addrs is not f2.addrs
+        f2.addrs[0] = 999
+        assert f1.addrs[0] != 999
+
+    def test_reset_after_freeze_leaves_frozen_unchanged(self):
+        t = Tracer()
+        self._fill(t)
+        ft = t.freeze()
+        n = ft.n_accesses
+        t.reset()
+        self._fill(t, base=50_000)
+        assert ft.n_accesses == n
+        assert ft.addrs[0] == 0
+        assert not np.any(ft.addrs >= 50_000)
+
+    def test_freeze_across_chunk_boundary(self):
+        from repro.core.trace import _CHUNK
+        t = Tracer()
+        k = _CHUNK + 17
+        for j in range(k):
+            t.i(1)
+            t.r(j * 8)
+        ft = t.freeze()
+        assert ft.n_accesses == k
+        assert np.array_equal(ft.addrs,
+                              np.arange(k, dtype=np.uint64) * 8)
+        assert np.array_equal(ft.iat,
+                              np.arange(1, k + 1, dtype=np.uint64))
+
+
+class TestVectorizedBulk:
+    """The bulk APIs must emit exactly the same stream as the equivalent
+    per-element loop."""
+
+    def test_bulk_reads_matches_loop(self):
+        addrs = [100, 264, 32, 8]
+        a = Tracer()
+        a.i(7)
+        for x in addrs:
+            a.i(3)
+            a.r(x)
+        b = Tracer()
+        b.i(7)
+        b.bulk_reads(np.array(addrs, dtype=np.uint64), instrs_per_access=3)
+        fa, fb = a.freeze(), b.freeze()
+        for f in ("addrs", "rw", "iat", "acc_region"):
+            assert np.array_equal(getattr(fa, f), getattr(fb, f)), f
+        assert fa.n_instrs == fb.n_instrs
+
+    def test_bulk_writes_marks_stores(self):
+        t = Tracer()
+        t.bulk_writes([1, 2, 3])
+        ft = t.freeze()
+        assert list(ft.rw) == [1, 1, 1]
+
+    def test_bulk_framework_attribution(self):
+        t = Tracer()
+        t.enter(T.R_BUILD)
+        t.bulk_reads([0, 64, 128], instrs_per_access=2)
+        t.leave()
+        ft = t.freeze()
+        assert ft.fw_instrs == 6
+        assert ft.fw_accesses == 3
+        assert list(ft.region_instrs) == [0, 6, 0]
+
+    def test_bulk_scan_matches_loop(self):
+        c0 = [0, 64, 128]
+        c1 = [1000, 1064, 1128]
+        a = Tracer()
+        for x, y in zip(c0, c1):
+            a.i(10)
+            a.r(x)
+            a.r(y)
+        b = Tracer()
+        b.bulk_scan((c0, c1), instrs_per_step=10)
+        fa, fb = a.freeze(), b.freeze()
+        for f in ("addrs", "rw", "iat", "acc_region"):
+            assert np.array_equal(getattr(fa, f), getattr(fb, f)), f
+        assert fa.n_instrs == fb.n_instrs
+        assert fa.fw_accesses == fb.fw_accesses
+
+    def test_bulk_branches_scalar_and_array(self):
+        t = Tracer()
+        t.bulk_branches(T.B_EDGE_LOOP, True, 3)
+        t.bulk_branches(T.B_VERTEX_SCAN, [True, False])
+        ft = t.freeze()
+        assert list(ft.branch_sites) == [T.B_EDGE_LOOP] * 3 + \
+            [T.B_VERTEX_SCAN] * 2
+        assert list(ft.branch_taken) == [1, 1, 1, 1, 0]
+
+    def test_bulk_empty_is_noop(self):
+        t = Tracer()
+        t.bulk_reads([])
+        t.bulk_scan(([], []))
+        t.bulk_branches(1, True, 0)
+        ft = t.freeze()
+        assert ft.n_accesses == 0
+        assert ft.n_branches == 0
+        assert ft.n_instrs == 0
+
+
 def test_frozen_dtypes():
     t = Tracer()
     t.i(1)

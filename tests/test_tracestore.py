@@ -1,0 +1,223 @@
+"""Tests for the content-addressed trace store (repro.core.tracestore)
+and its harness/resilience/service wiring."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arch.cpu import CPUModel
+from repro.arch.machine import SCALED_XEON, TEST_MACHINE
+from repro.core.tracestore import (
+    TRACE_FORMAT_VERSION,
+    TraceStore,
+    TraceStoreKeyError,
+)
+from repro.datagen.registry import make as make_dataset
+from repro.harness.runner import (
+    cache_stats,
+    characterize,
+    clear_cache,
+    run_cpu_workload,
+    set_default_trace_store,
+)
+
+
+@pytest.fixture
+def spec():
+    return make_dataset("ldbc", scale=0.02, seed=0)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TraceStore(tmp_path / "traces")
+
+
+class TestKeying:
+    def test_key_is_deterministic(self, store, spec):
+        assert store.key_for("BFS", spec) == store.key_for("BFS", spec)
+
+    def test_different_seeds_never_collide(self, store):
+        a = make_dataset("ldbc", scale=0.02, seed=0)
+        b = make_dataset("ldbc", scale=0.02, seed=1)
+        assert store.key_for("BFS", a) != store.key_for("BFS", b)
+
+    def test_different_params_never_collide(self, store, spec):
+        keys = {store.key_for("BFS", spec),
+                store.key_for("BFS", spec, {"root": 3}),
+                store.key_for("BFS", spec, {"root": 4}),
+                store.key_for("GUp", spec, {"fraction": 0.1}),
+                store.key_for("GUp", spec, {"fraction": 0.2})}
+        assert len(keys) == 5
+
+    def test_different_workloads_and_sizes_never_collide(self, store, spec):
+        other = make_dataset("ldbc", scale=0.04, seed=0)
+        keys = {store.key_for(w, s) for w in ("BFS", "kCore", "CComp")
+                for s in (spec, other)}
+        assert len(keys) == 6
+
+    def test_ndarray_params_keyed_by_content(self, store, spec):
+        e1 = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        e2 = np.array([[0, 1], [2, 1]], dtype=np.int64)
+        k1 = store.key_for("GCons", spec, {"edges": e1})
+        k2 = store.key_for("GCons", spec, {"edges": e1.copy()})
+        k3 = store.key_for("GCons", spec, {"edges": e2})
+        assert k1 == k2
+        assert k1 != k3
+
+    def test_uncacheable_params_raise(self, store, spec):
+        with pytest.raises(TraceStoreKeyError):
+            store.key_for("Gibbs", spec, {"bn": object()})
+
+
+class TestRoundTrip:
+    def test_store_load_gives_identical_metrics(self, store, spec):
+        result, fresh = run_cpu_workload("BFS", spec, machine=TEST_MACHINE)
+        key = store.key_for("BFS", spec)
+        store.save(key, result.trace, footprint_bytes=1234,
+                   outputs={"depth": 5}, params={"root": 1})
+        loaded = store.load(key)
+        assert loaded is not None
+        for f in ("addrs", "rw", "iat", "acc_region", "branch_sites",
+                  "branch_taken", "region_seq", "region_instrs"):
+            assert np.array_equal(getattr(result.trace, f),
+                                  getattr(loaded.trace, f)), f
+        assert loaded.trace.regions == result.trace.regions
+        assert loaded.footprint_bytes == 1234
+        assert loaded.outputs == {"depth": 5}
+        replayed = CPUModel(TEST_MACHINE).run(loaded.trace)
+        direct = CPUModel(TEST_MACHINE).run(result.trace)
+        assert replayed.summary() == direct.summary()
+
+    def test_missing_key_is_miss(self, store):
+        assert store.load("0" * 64) is None
+        assert store.stats.misses == 1
+
+    def test_corrupt_sidecar_fails_open(self, store, spec):
+        result, _ = run_cpu_workload("BFS", spec, machine=TEST_MACHINE)
+        key = store.key_for("BFS", spec)
+        store.save(key, result.trace)
+        (store.root / f"{key}.json").write_text("{not json")
+        assert store.load(key) is None
+        assert store.stats.invalid == 1
+
+    def test_format_version_mismatch_fails_open(self, store, spec):
+        result, _ = run_cpu_workload("BFS", spec, machine=TEST_MACHINE)
+        key = store.key_for("BFS", spec)
+        path = store.save(key, result.trace)
+        meta = json.loads(path.read_text())
+        meta["format_version"] = TRACE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(meta))
+        assert store.load(key) is None
+        assert store.stats.invalid == 1
+
+    def test_len_and_keys(self, store, spec):
+        result, _ = run_cpu_workload("BFS", spec, machine=TEST_MACHINE)
+        key = store.key_for("BFS", spec)
+        assert len(store) == 0
+        store.save(key, result.trace)
+        assert len(store) == 1
+        assert store.keys() == [key]
+        assert key in store
+
+
+class TestHarnessIntegration:
+    def test_machine_sweep_executes_once(self, store, spec):
+        machines = [TEST_MACHINE, SCALED_XEON]
+        for m in machines:
+            run_cpu_workload("kCore", spec, machine=m, trace_store=store)
+        assert store.stats.stores == 1
+        assert store.stats.hits == 1
+        # replayed metrics match a fresh execution on the second machine
+        _, replayed = run_cpu_workload("kCore", spec, machine=SCALED_XEON,
+                                       trace_store=store)
+        _, fresh = run_cpu_workload("kCore", spec, machine=SCALED_XEON)
+        assert replayed.summary() == fresh.summary()
+
+    def test_characterize_uses_store(self, store, spec):
+        clear_cache()
+        characterize("BFS", spec, machine=TEST_MACHINE, memo=False,
+                     trace_store=store)
+        row = characterize("BFS", spec, machine=SCALED_XEON, memo=False,
+                           trace_store=store)
+        assert store.stats.stores == 1
+        assert store.stats.hits == 1
+        fresh = characterize("BFS", spec, machine=SCALED_XEON, memo=False)
+        assert row.cpu.summary() == fresh.cpu.summary()
+
+    def test_custom_gibbs_bn_bypasses_store(self, store, spec):
+        from repro.bayes import munin_like
+        bn = munin_like(n_vertices=40, n_edges=60, target_params=500, seed=1)
+        run_cpu_workload("Gibbs", spec, machine=TEST_MACHINE,
+                         gibbs_bn=bn, trace_store=store)
+        assert store.stats.stores == 0
+        assert len(store) == 0
+
+    def test_default_store_and_cache_stats(self, tmp_path, spec):
+        assert cache_stats()["trace_store"] is None
+        store = set_default_trace_store(tmp_path / "default-traces")
+        try:
+            run_cpu_workload("BFS", spec, machine=TEST_MACHINE)
+            run_cpu_workload("BFS", spec, machine=SCALED_XEON)
+            stats = cache_stats()
+            assert stats["trace_store"]["hits"] == 1
+            assert stats["trace_store"]["stores"] == 1
+            assert "rows" in stats
+        finally:
+            set_default_trace_store(None)
+        assert cache_stats()["trace_store"] is None
+        assert store.stats.hits == 1
+
+    def test_replay_span_recorded(self, store, spec):
+        from repro.obs import SpanTracer
+        from repro.obs.tracing import set_global_tracer
+        run_cpu_workload("BFS", spec, machine=TEST_MACHINE,
+                         trace_store=store)
+        tracer = SpanTracer()
+        set_global_tracer(tracer)
+        try:
+            run_cpu_workload("BFS", spec, machine=SCALED_XEON,
+                             trace_store=store)
+        finally:
+            set_global_tracer(None)
+        spans = tracer.find("replay:BFS")
+        assert len(spans) == 1
+        assert spans[0].args.get("served") == "trace-store"
+
+    def test_bind_metrics_exports_counters(self, store, spec):
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        store.bind_metrics(registry)
+        run_cpu_workload("BFS", spec, machine=TEST_MACHINE,
+                         trace_store=store)
+        run_cpu_workload("BFS", spec, machine=SCALED_XEON,
+                         trace_store=store)
+        snap = registry.snapshot()
+        assert snap["trace_store_hits_total"]["samples"][0]["value"] == 1.0
+        assert (snap["trace_store_misses_total"]["samples"][0]["value"]
+                == 1.0)
+
+
+class TestResilienceIntegration:
+    def test_matrix_cells_carry_store(self, tmp_path):
+        from repro.resilience import matrix_cells
+        cells = matrix_cells(["BFS"], ["ldbc"], scale=0.02,
+                             machine="test", trace_store=str(tmp_path))
+        assert cells[0].trace_store == str(tmp_path)
+        # not part of identity: old journal records must still match
+        assert "trace_store" not in cells[0].cell_id
+
+    def test_run_cell_populates_store(self, tmp_path):
+        from repro.resilience.cell import Cell, run_cell
+        clear_cache()
+        cell = Cell(workload="BFS", dataset="ldbc", scale=0.02,
+                    machine="test", trace_store=str(tmp_path / "ts"))
+        run_cell(cell)
+        assert len(TraceStore(tmp_path / "ts")) == 1
+
+    def test_cell_from_dict_without_store_field(self):
+        from repro.resilience.cell import Cell
+        cell = Cell.from_dict({"workload": "BFS", "dataset": "ldbc",
+                               "scale": 0.02, "seed": 0,
+                               "machine": "test", "with_gpu": False})
+        assert cell.trace_store is None
