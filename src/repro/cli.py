@@ -301,6 +301,7 @@ def cmd_loadgen(args) -> int:
                     dataset_skew=skew)
     tracer = SpanTracer() if args.trace_out else None
     gen_args = dict(concurrency=args.concurrency, timeout_s=args.timeout,
+                    deadline_s=getattr(args, "deadline", None),
                     tracer=tracer)
     if not args.json:
         print(f"loadgen: {args.requests} requests over {len(mix)} "
@@ -380,6 +381,31 @@ def cmd_stats(args) -> int:
         print(f"cache/{tier:9s} hits={c.get('hits')} "
               f"misses={c.get('misses')} "
               f"hit_rate={c.get('hit_rate')}")
+    rel = stats.get("reliability")
+    if rel is not None:
+        if not rel.get("enabled"):
+            print("reliability  off")
+        else:
+            budget = rel.get("retry_budget", {})
+            print(f"reliability  on  retry_budget "
+                  f"tokens={budget.get('tokens')} "
+                  f"granted={budget.get('granted')} "
+                  f"denied={budget.get('denied')}")
+            for name, b in sorted(rel.get("breakers", {}).items()):
+                print(f"breaker/{name:9s} state={b.get('state')} "
+                      f"consecutive_failures="
+                      f"{b.get('consecutive_failures')} "
+                      f"transitions={b.get('transitions')}")
+            hedge = rel.get("hedge", {})
+            if hedge.get("quantile") is not None:
+                print(f"hedge        p{hedge['quantile']:g} "
+                      f"delay_s={hedge.get('delay_s')} "
+                      f"samples={hedge.get('samples')}")
+            stale = rel.get("stale")
+            if stale is not None:
+                print(f"stale-cache  entries={stale.get('entries')} "
+                      f"hits={stale.get('hits')} "
+                      f"cap_s={stale.get('cap_s')}")
     lat = metrics.get("service_request_latency_ms", {})
     for sample in lat.get("samples", []):
         op = sample.get("labels", {}).get("op", "?")
@@ -405,17 +431,37 @@ def cmd_cluster_serve(args) -> int:
     import time
 
     from .cluster import ClusterProcesses, ClusterThread
+    from .cluster.router import ReliabilityConfig
 
     spec = _cluster_spec(args)
     harness_cls = ClusterProcesses if args.processes else ClusterThread
-    kwargs = dict(host=args.host, port=args.port)
+    reliability = (ReliabilityConfig.disabled() if args.no_reliability
+                   else ReliabilityConfig(
+                       hedge_quantile=args.hedge_quantile,
+                       stale_cap_s=args.stale_cap))
+    kwargs = dict(host=args.host, port=args.port,
+                  router_kwargs={"reliability": reliability})
     if args.processes:
         kwargs["isolation"] = args.isolation
+        if args.netchaos:
+            print("error: --netchaos requires thread shards "
+                  "(drop --processes)", file=sys.stderr)
+            return 2
+    elif args.netchaos:
+        kwargs["netchaos"] = True
+        kwargs["netchaos_seed"] = args.netchaos_seed
+        if args.chaos_latency_ms > 0:
+            from .resilience.netchaos import NetFaultSpec
+            kwargs["netchaos_faults"] = NetFaultSpec(
+                latency_ms=args.chaos_latency_ms)
     with harness_cls(spec, **kwargs) as cluster:
         print(f"cluster router listening on {args.host}:"
               f"{cluster.router_port} ({args.shards} shards, "
               f"replication {args.replication}, "
-              f"{'process' if args.processes else 'thread'} shards)")
+              f"{'process' if args.processes else 'thread'} shards, "
+              f"reliability "
+              f"{'off' if args.no_reliability else 'on'}"
+              f"{', netchaos' if getattr(args, 'netchaos', False) else ''})")
         for name, owned in sorted(cluster.assignment.items()):
             addr = (cluster.addresses[name]
                     if not args.processes
@@ -489,7 +535,8 @@ def cmd_cluster_loadgen(args) -> int:
         print(f"plan: imbalance {imb_ds:.2f}x across datasets, "
               f"{imb_shard:.2f}x across shards (max/mean)")
     gen_args = dict(concurrency=args.concurrency,
-                    timeout_s=args.timeout)
+                    timeout_s=args.timeout,
+                    deadline_s=getattr(args, "deadline", None))
     if args.spawn:
         with ClusterThread(spec, host=args.host) as cluster:
             report = LoadGenerator(args.host, cluster.router_port,
@@ -735,6 +782,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="Zipf exponent over the dataset mix (0 = "
                          "uniform); skews request volume toward the "
                          "first-listed datasets")
+    lg.add_argument("--deadline", type=float, default=None,
+                    metavar="SECONDS",
+                    help="end-to-end deadline per request, propagated "
+                         "on the wire (default: none)")
     lg.add_argument("--json", action="store_true",
                     help="machine-readable report")
     lg.add_argument("--trace-out", default=None, metavar="FILE",
@@ -788,6 +839,26 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("process", "inline"),
                     help="worker isolation inside each shard "
                          "(default: inline)")
+    cs.add_argument("--no-reliability", action="store_true",
+                    help="disable the request-reliability layer "
+                         "(breakers, budgeted retries, deadline-derived "
+                         "timeouts, degraded serving)")
+    cs.add_argument("--hedge-quantile", type=float, default=None,
+                    metavar="Q",
+                    help="hedge idempotent reads at this observed "
+                         "latency quantile, e.g. 95 (default: off)")
+    cs.add_argument("--stale-cap", type=float, default=60.0,
+                    metavar="SECONDS",
+                    help="hard staleness cap for degraded responses "
+                         "(default: 60)")
+    cs.add_argument("--netchaos", action="store_true",
+                    help="interpose a deterministic ChaosProxy on every "
+                         "router-shard hop (thread shards only)")
+    cs.add_argument("--netchaos-seed", type=int, default=0,
+                    help="seed for the proxies' fault RNG (default: 0)")
+    cs.add_argument("--chaos-latency-ms", type=float, default=0.0,
+                    help="inject this much per-chunk latency on every "
+                         "proxied hop (requires --netchaos)")
 
     csh = clsub.add_parser(
         "shard", help="serve one shard (used by `cluster serve "
@@ -842,6 +913,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Zipf exponent over the dataset mix "
                           "(0 = uniform)")
     clg.add_argument("--timeout", type=float, default=300.0)
+    clg.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="end-to-end deadline per request, propagated "
+                          "on the wire (default: none)")
     clg.add_argument("--json", action="store_true")
 
     cp = clsub.add_parser(

@@ -9,14 +9,30 @@ router speaks the unchanged JSON-lines protocol in front — routing
 keyed ops, scatter-gathering fan-out ops, failing over on transport
 faults (:mod:`~repro.cluster.router`).  :mod:`~repro.cluster.topology`
 holds the static spec plus in-process and multi-process boot harnesses.
+
+The request-reliability layer lives across :mod:`~repro.cluster.replica`
+(circuit breakers, retry budget) and :mod:`~repro.cluster.router`
+(deadline propagation, hedging, degraded serving); its knobs are one
+:class:`ReliabilityConfig`.
 """
 
-from ..core.errors import ShardUnavailable, WrongShard
+from ..core.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    RetryBudgetExhausted,
+    ShardUnavailable,
+    WrongShard,
+)
 from .node import ShardService
 from .replica import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
     DEFAULT_EJECT_AFTER,
+    CircuitBreaker,
     ReplicaSet,
     ReplicaTracker,
+    RetryBudget,
     ShardHealth,
 )
 from .ring import (
@@ -28,7 +44,13 @@ from .ring import (
     stable_hash,
     synthetic_keys,
 )
-from .router import MAX_BATCH_ENTRIES, ROUTER_PORT, Router, ShardAddress
+from .router import (
+    MAX_BATCH_ENTRIES,
+    ROUTER_PORT,
+    ReliabilityConfig,
+    Router,
+    ShardAddress,
+)
 from .topology import (
     ClusterProcesses,
     ClusterSpec,
@@ -38,17 +60,26 @@ from .topology import (
 )
 
 __all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
     "DEFAULT_EJECT_AFTER",
     "DEFAULT_VNODES",
     "MAX_BATCH_ENTRIES",
     "ROUTER_PORT",
+    "CircuitBreaker",
+    "CircuitOpen",
     "ClusterProcesses",
     "ClusterSpec",
     "ClusterThread",
+    "DeadlineExceeded",
     "HashRing",
     "RebalancePlan",
+    "ReliabilityConfig",
     "ReplicaSet",
     "ReplicaTracker",
+    "RetryBudget",
+    "RetryBudgetExhausted",
     "Router",
     "ShardAddress",
     "ShardHealth",

@@ -22,13 +22,22 @@ tests and the ``health`` op read it from other threads.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
+from ..obs.logs import get_logger
 from ..resilience.retry import RetryPolicy
+
+log = get_logger("cluster.replica")
 
 #: Consecutive transport failures before a shard is ejected.
 DEFAULT_EJECT_AFTER = 2
+
+#: Circuit-breaker states (the classic three-state machine).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
 
 
 @dataclass
@@ -53,7 +62,14 @@ class ShardHealth:
 
 
 class ReplicaTracker:
-    """Health state machine over a fixed shard set."""
+    """Health state machine over a fixed shard set.
+
+    Ejections and readmissions — the membership decisions everything
+    downstream keys off — are *observable*: each flip emits one
+    structured log line (labeled by shard and reason) and, once
+    :meth:`bind_metrics` has attached a registry, one increment of
+    ``cluster_membership_transitions_total{shard,event,reason}``.
+    """
 
     def __init__(self, names: Sequence[str], *,
                  eject_after: int = DEFAULT_EJECT_AFTER,
@@ -67,26 +83,58 @@ class ReplicaTracker:
         self._shards = {name: ShardHealth(name) for name in names}
         if not self._shards:
             raise ValueError("tracker needs at least one shard")
+        self._m_membership = None
+
+    # -- observability -------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Attach membership-transition counters to a registry."""
+        self._m_membership = registry.counter(
+            "cluster_membership_transitions_total",
+            "replica-tracker state flips (ejections/readmissions), "
+            "by shard and reason",
+            labels=("shard", "event", "reason"))
+
+    def _observe_flip(self, name: str, event: str, reason: str,
+                      detail: str) -> None:
+        if self._m_membership is not None:
+            self._m_membership.labels(shard=name, event=event,
+                                      reason=reason).inc()
+        level = log.warning if event == "ejected" else log.info
+        level("shard %s %s (%s): %s", name, event, reason, detail,
+              extra={"shard": name, "event": event, "reason": reason})
 
     # -- outcome recording ---------------------------------------------------
 
-    def record_success(self, name: str) -> None:
+    def record_success(self, name: str, reason: str = "traffic") -> None:
         with self._lock:
             s = self._shards[name]
             s.successes += 1
             s.consecutive_failures = 0
-            if not s.healthy:
+            readmitted = not s.healthy
+            if readmitted:
                 s.healthy = True
                 s.readmissions += 1
+                detail = (f"readmission #{s.readmissions} after "
+                          f"{s.probes} probes")
+        if readmitted:
+            self._observe_flip(name, "readmitted", reason, detail)
 
-    def record_failure(self, name: str) -> None:
+    def record_failure(self, name: str, reason: str = "transport") -> None:
         with self._lock:
             s = self._shards[name]
             s.failures += 1
             s.consecutive_failures += 1
-            if s.healthy and s.consecutive_failures >= self.eject_after:
+            ejected = (s.healthy
+                       and s.consecutive_failures >= self.eject_after)
+            if ejected:
                 s.healthy = False
                 s.ejections += 1
+                detail = (f"ejection #{s.ejections} after "
+                          f"{s.consecutive_failures} consecutive "
+                          "failures")
+        if ejected:
+            self._observe_flip(name, "ejected", reason, detail)
 
     def record_probe(self, name: str) -> None:
         with self._lock:
@@ -126,6 +174,187 @@ class ReplicaTracker:
         with self._lock:
             return {name: s.as_dict()
                     for name, s in sorted(self._shards.items())}
+
+
+class CircuitBreaker:
+    """Per-shard three-state circuit breaker with half-open probing.
+
+    The :class:`ReplicaTracker` answers "is this shard *believed*
+    healthy" from consecutive-failure counts; the breaker answers the
+    sharper operational question "should this request dial it *right
+    now*".  Closed passes everything.  ``failure_threshold`` consecutive
+    transport failures open the circuit; while open, :meth:`allow`
+    refuses instantly (no connection attempt burns the caller's
+    deadline).  After ``reset_timeout_s`` the breaker admits exactly one
+    trial request (half-open): success closes the circuit, failure
+    re-opens it with the timeout backed off by ``backoff_factor`` (capped
+    at ``max_reset_timeout_s``) so a persistently dead shard is probed
+    ever more lazily.
+
+    Only *transport* outcomes feed the breaker — a typed error frame
+    means the shard answered, which is circuit-wise a success.
+
+    Thread-safe; the clock is injectable so tests never sleep.
+    ``on_transition(name, old, new)`` observes every state change.
+    """
+
+    def __init__(self, name: str, *, failure_threshold: int = 3,
+                 reset_timeout_s: float = 1.0,
+                 backoff_factor: float = 2.0,
+                 max_reset_timeout_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Callable[[str, str, str], None]
+                 | None = None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.base_reset_timeout_s = reset_timeout_s
+        self.backoff_factor = backoff_factor
+        self.max_reset_timeout_s = max_reset_timeout_s
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._reset_timeout_s = reset_timeout_s
+        self._probe_inflight = False
+        self.transitions: dict[str, int] = {}
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _transition(self, new: str) -> None:
+        """Record a state change (lock held by caller)."""
+        old = self._state
+        if old == new:
+            return
+        self._state = new
+        self.transitions[new] = self.transitions.get(new, 0) + 1
+        if self._on_transition is not None:
+            self._on_transition(self.name, old, new)
+
+    def allow(self) -> bool:
+        """May a request dial this shard right now?"""
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return True
+            now = self._clock()
+            if self._state == BREAKER_OPEN:
+                if now - self._opened_at < self._reset_timeout_s:
+                    return False
+                self._transition(BREAKER_HALF_OPEN)
+                self._probe_inflight = True
+                return True
+            # half-open: one trial at a time
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            if self._state != BREAKER_CLOSED:
+                self._reset_timeout_s = self.base_reset_timeout_s
+                self._transition(BREAKER_CLOSED)
+
+    def record_abandoned(self) -> None:
+        """An admitted attempt was cancelled before an outcome (e.g. a
+        hedge loser): release the half-open probe slot without judging
+        the shard either way."""
+        with self._lock:
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            now = self._clock()
+            if self._state == BREAKER_HALF_OPEN:
+                # the trial failed: back off and re-open
+                self._probe_inflight = False
+                self._reset_timeout_s = min(
+                    self._reset_timeout_s * self.backoff_factor,
+                    self.max_reset_timeout_s)
+                self._opened_at = now
+                self._transition(BREAKER_OPEN)
+                return
+            self._consecutive_failures += 1
+            if self._state == BREAKER_CLOSED \
+                    and self._consecutive_failures \
+                    >= self.failure_threshold:
+                self._opened_at = now
+                self._reset_timeout_s = self.base_reset_timeout_s
+                self._transition(BREAKER_OPEN)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"state": self._state,
+                    "consecutive_failures": self._consecutive_failures,
+                    "reset_timeout_s": round(self._reset_timeout_s, 6),
+                    "transitions": dict(self.transitions)}
+
+
+class RetryBudget:
+    """Token-bucket cap on cluster-wide retry amplification.
+
+    Every first attempt deposits ``ratio`` tokens; every retry (failover
+    or hedge) withdraws one.  Offered retry load is therefore bounded at
+    ``ratio`` of offered first-attempt load plus the ``max_tokens``
+    burst — with ``ratio=0.1`` sustained amplification cannot exceed
+    1.1x no matter how many shards brown out at once, which is exactly
+    the storm-prevention contract.  Deterministic: token arithmetic
+    only, no clock.
+
+    Thread-safe; ``granted``/``denied`` counters feed the stats surface.
+    """
+
+    def __init__(self, ratio: float = 0.1, max_tokens: float = 10.0):
+        if ratio < 0:
+            raise ValueError("ratio must be >= 0")
+        if max_tokens < 1:
+            raise ValueError("max_tokens must be >= 1")
+        self.ratio = ratio
+        self.max_tokens = max_tokens
+        self._lock = threading.Lock()
+        self._tokens = max_tokens          # full bucket: cold-start grace
+        self.granted = 0
+        self.denied = 0
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def on_request(self) -> None:
+        """A first attempt: deposit the ratio."""
+        with self._lock:
+            self._tokens = min(self.max_tokens,
+                               self._tokens + self.ratio)
+
+    def try_spend(self) -> bool:
+        """Withdraw one token for a retry/hedge; False = budget spent."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self.granted += 1
+                return True
+            self.denied += 1
+            return False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"tokens": round(self._tokens, 3),
+                    "ratio": self.ratio,
+                    "max_tokens": self.max_tokens,
+                    "granted": self.granted, "denied": self.denied}
 
 
 @dataclass(frozen=True)

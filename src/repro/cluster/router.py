@@ -17,13 +17,44 @@ into shard traffic:
 * **local ops** (``ping``/``health``) answer from the router's own
   state — health is the tracker's live shard map.
 
+On top of the failover walk sits the request-reliability layer
+(:class:`ReliabilityConfig`), on by default:
+
+* **deadline propagation** — a request's absolute wire deadline derives
+  every per-attempt timeout (the remaining budget split across the
+  replicas still untried), is copied onto downstream shard frames, and
+  sheds the request with a typed
+  :class:`~repro.core.errors.DeadlineExceeded` the moment the budget is
+  spent;
+* **per-shard circuit breakers** with half-open probing
+  (:class:`~repro.cluster.replica.CircuitBreaker`) refuse to dial a
+  shard whose recent transport history says the dial would only burn
+  the deadline;
+* **budgeted retries** — a token-bucket
+  :class:`~repro.cluster.replica.RetryBudget` caps cluster-wide retry
+  amplification (failover and hedges both spend from it), so a brownout
+  cannot snowball into a retry storm;
+* **hedged requests** — for idempotent single-dataset reads, once the
+  first attempt has been in flight past the observed latency quantile
+  (``hedge_quantile``), a second attempt fires at the next replica and
+  the first answer wins;
+* **degraded serving** — when every replica is unreachable, breaker-
+  blocked, budget-blocked, or the deadline is spent, the router's
+  last-good response cache serves the most recent answer for the same
+  request, marked ``degraded: true`` with its staleness age, under a
+  hard staleness cap.
+
 Failed shards are ejected by the :class:`~repro.cluster.replica.
 ReplicaTracker` after consecutive transport failures and readmitted by a
 background health-probe loop whose pacing is the resilience layer's
 deterministic :class:`~repro.resilience.retry.RetryPolicy` backoff.
 
 Observability: ``cluster_route_total{shard,outcome}`` counts every
-shard exchange (ok / failover / error / unreachable),
+shard exchange (ok / failover / hedge / error / unreachable / skipped),
+``cluster_breaker_transitions_total{shard,state}`` counts breaker flips,
+``cluster_hedges_total{outcome}`` counts hedge launches and wins,
+``cluster_deadline_shed_total{stage}`` counts router-side sheds,
+``cluster_degraded_total{reason}`` counts stale serves by trigger kind,
 ``cluster_fanout_latency_ms{op}`` times scatter-gather fans,
 ``router_request_latency_ms{op}`` times the front door, and each request
 runs under a ``route:<op>`` span when a tracer is attached.
@@ -36,16 +67,25 @@ threaded harness hosts a router or a service.
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from dataclasses import dataclass
 from typing import Any, Sequence
 
 from .. import __version__
-from ..core.errors import BadRequest, ProtocolError, ShardUnavailable
+from ..core.errors import (
+    BadRequest,
+    CircuitOpen,
+    DeadlineExceeded,
+    ProtocolError,
+    RetryBudgetExhausted,
+    ShardUnavailable,
+)
 from ..obs.logs import get_logger
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, percentile
 from ..obs.tracing import SpanTracer, maybe_span
 from ..resilience.retry import RetryPolicy
+from ..service.cache import LRUCache
 from ..service.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -57,7 +97,13 @@ from ..service.protocol import (
     parse_request,
     payload_to_error,
 )
-from .replica import DEFAULT_EJECT_AFTER, ReplicaTracker
+from .replica import (
+    BREAKER_OPEN,
+    DEFAULT_EJECT_AFTER,
+    CircuitBreaker,
+    ReplicaTracker,
+    RetryBudget,
+)
 from .ring import DEFAULT_VNODES, HashRing
 
 log = get_logger("cluster.router")
@@ -69,10 +115,77 @@ ROUTER_PORT = 7430
 #: Hard cap on one ``batch`` op's entry list.
 MAX_BATCH_ENTRIES = 128
 
+#: Floor on any deadline-derived attempt timeout: below this a dial
+#: cannot realistically complete, so the budget math never starves an
+#: attempt into instant failure.
+MIN_ATTEMPT_TIMEOUT_S = 0.05
+
+#: Slice of the remaining budget the router keeps for itself when
+#: splitting it across attempts.  Without it, a walk that exhausts every
+#: replica spends the *entire* deadline dialing and the degraded (stale)
+#: answer loses the race with the client's own timer — the headroom is
+#: what makes "serve stale at deadline" observable rather than
+#: theoretical.
+DEADLINE_HEADROOM_S = 0.05
+
 #: Transport-level failures that trigger replica failover.  Typed error
 #: *frames* a shard answers with are not in this set — they forwarded,
 #: not retried.
 _TRANSPORT_ERRORS = (OSError, asyncio.TimeoutError, ProtocolError)
+
+
+def _failure_reason(exc: BaseException) -> str:
+    """Stable label for a transport failure (metrics/log cardinality:
+    a handful of values, never the exception text)."""
+    if isinstance(exc, asyncio.TimeoutError):
+        return "timeout"
+    if isinstance(exc, ConnectionRefusedError):
+        return "refused"
+    if isinstance(exc, ConnectionResetError):
+        return "reset"
+    if isinstance(exc, ProtocolError):
+        return "protocol"
+    return "transport"
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Knobs for the router's request-reliability layer.
+
+    ``enabled=False`` reverts the router to the plain failover walk with
+    fixed timeouts — the with/without contrast the chaos-availability
+    benchmark measures.
+    """
+
+    enabled: bool = True
+    # circuit breakers
+    breaker_failure_threshold: int = 3
+    breaker_reset_timeout_s: float = 1.0
+    breaker_backoff_factor: float = 2.0
+    breaker_max_reset_timeout_s: float = 30.0
+    # retry budget (failover + hedges)
+    retry_budget_ratio: float = 0.1
+    retry_budget_max_tokens: float = 10.0
+    # hedging: fire a second replica attempt once the first has been in
+    # flight past this observed-latency quantile (None disables)
+    hedge_quantile: float | None = None
+    hedge_min_delay_s: float = 0.01
+    hedge_min_samples: int = 20
+    # degraded serving: last-good response cache
+    serve_stale: bool = True
+    stale_capacity: int = 512
+    stale_cap_s: float = 60.0
+
+    def __post_init__(self):
+        if self.hedge_quantile is not None \
+                and not 0 < self.hedge_quantile <= 100:
+            raise ValueError("hedge_quantile must be in (0, 100]")
+        if self.stale_cap_s <= 0:
+            raise ValueError("stale_cap_s must be positive")
+
+    @classmethod
+    def disabled(cls) -> "ReliabilityConfig":
+        return cls(enabled=False, serve_stale=False)
 
 
 @dataclass(frozen=True)
@@ -115,17 +228,20 @@ class _ShardLink:
         else:
             writer.close()
 
-    async def call(self, op: str, params: dict[str, Any]) -> dict:
+    async def call(self, op: str, params: dict[str, Any],
+                   deadline: float | None = None) -> dict:
         """One request/response exchange; returns the decoded frame.
 
-        Raises ``OSError``/``ProtocolError`` on transport trouble — the
+        The wire deadline (if any) propagates onto the downstream frame
+        so the shard's scheduler can shed expired work.  Raises
+        ``OSError``/``ProtocolError`` on transport trouble — the
         router's failover boundary.
         """
         reader, writer = await self._checkout()
         try:
             self._seq += 1
             writer.write(encode_request(op, f"{self.addr.name}-{self._seq}",
-                                        params))
+                                        params, deadline=deadline))
             await writer.drain()
             line = await reader.readline()
             if not line:
@@ -157,6 +273,7 @@ class Router:
                  eject_after: int = DEFAULT_EJECT_AFTER,
                  probe_interval_s: float = 0.5,
                  failover_policy: RetryPolicy | None = None,
+                 reliability: ReliabilityConfig | None = None,
                  registry: MetricsRegistry | None = None,
                  tracer: SpanTracer | None = None,
                  pool_per_shard: int = 8):
@@ -194,7 +311,8 @@ class Router:
         reg = self.registry
         self._m_route = reg.counter(
             "cluster_route_total",
-            "shard exchanges by outcome (ok/failover/error/unreachable)",
+            "shard exchanges by outcome (ok/failover/hedge/error/"
+            "unreachable/skipped)",
             labels=("shard", "outcome"))
         self._m_fan = reg.histogram(
             "cluster_fanout_latency_ms",
@@ -212,6 +330,88 @@ class Router:
                   callback=lambda: float(len(self.tracker.healthy_shards())))
         reg.gauge("cluster_shards_total", "shards in the topology",
                   callback=lambda: float(len(self.shards)))
+        self.tracker.bind_metrics(reg)
+
+        # -- reliability layer ------------------------------------------------
+        self.reliability = reliability if reliability is not None \
+            else ReliabilityConfig()
+        rel = self.reliability
+        self._m_breaker = reg.counter(
+            "cluster_breaker_transitions_total",
+            "circuit-breaker state entries, by shard and new state",
+            labels=("shard", "state"))
+        self._m_hedge = reg.counter(
+            "cluster_hedges_total",
+            "hedged second attempts (launched/won/lost)",
+            labels=("outcome",))
+        self._m_shed = reg.counter(
+            "cluster_deadline_shed_total",
+            "requests shed for a spent deadline, by stage",
+            labels=("stage",))
+        self._m_degraded = reg.counter(
+            "cluster_degraded_total",
+            "degraded (stale) responses served, by triggering kind",
+            labels=("reason",))
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.retry_budget: RetryBudget | None = None
+        self._stale: LRUCache | None = None
+        if rel.enabled:
+            self.breakers = {
+                name: CircuitBreaker(
+                    name,
+                    failure_threshold=rel.breaker_failure_threshold,
+                    reset_timeout_s=rel.breaker_reset_timeout_s,
+                    backoff_factor=rel.breaker_backoff_factor,
+                    max_reset_timeout_s=rel.breaker_max_reset_timeout_s,
+                    on_transition=self._on_breaker_transition)
+                for name in names}
+            self.retry_budget = RetryBudget(
+                ratio=rel.retry_budget_ratio,
+                max_tokens=rel.retry_budget_max_tokens)
+            reg.gauge(
+                "cluster_breakers_open",
+                "shards currently behind an open circuit breaker",
+                callback=lambda: float(sum(
+                    1 for b in self.breakers.values()
+                    if b.state == BREAKER_OPEN)))
+            reg.gauge(
+                "cluster_retry_budget_tokens",
+                "retry-budget tokens currently available",
+                callback=lambda: float(self.retry_budget.tokens))
+        if rel.enabled and rel.serve_stale:
+            self._stale = LRUCache(rel.stale_capacity)
+        # rolling successful-attempt latencies (seconds) feeding the
+        # hedge-delay quantile
+        self._lat_samples: list[float] = []
+        self._lat_cursor = 0
+
+    # -- reliability callbacks -----------------------------------------------
+
+    def _on_breaker_transition(self, name: str, old: str,
+                               new: str) -> None:
+        self._m_breaker.labels(shard=name, state=new).inc()
+        level = log.warning if new == BREAKER_OPEN else log.info
+        level("breaker for shard %s: %s -> %s", name, old, new,
+              extra={"shard": name, "old": old, "new": new})
+
+    def _note_latency(self, elapsed_s: float) -> None:
+        """Feed the hedge-delay reservoir (bounded ring, newest wins)."""
+        if len(self._lat_samples) < 512:
+            self._lat_samples.append(elapsed_s)
+        else:
+            self._lat_samples[self._lat_cursor] = elapsed_s
+            self._lat_cursor = (self._lat_cursor + 1) % 512
+
+    def hedge_delay(self) -> float | None:
+        """Seconds to wait before hedging, from the observed latency
+        quantile; None until enough samples exist (or hedging is off)."""
+        rel = self.reliability
+        if not rel.enabled or rel.hedge_quantile is None:
+            return None
+        if len(self._lat_samples) < rel.hedge_min_samples:
+            return None
+        delay = percentile(sorted(self._lat_samples), rel.hedge_quantile)
+        return max(rel.hedge_min_delay_s, delay)
 
     # -- lifecycle (ServiceThread-compatible) --------------------------------
 
@@ -271,63 +471,279 @@ class Router:
                         continue
                     if frame.get("ok") and (frame.get("result") or {}) \
                             .get("ok"):
-                        self.tracker.record_success(name)
-                        log.info("shard %s readmitted", name,
-                                 extra={"shard": name})
+                        self.tracker.record_success(name, reason="probe")
+                        breaker = self.breakers.get(name)
+                        if breaker is not None:
+                            breaker.record_success()
         except asyncio.CancelledError:
             raise
-
     # -- shard exchanges -----------------------------------------------------
 
     async def _call(self, name: str, op: str,
                     params: dict[str, Any],
-                    timeout_s: float | None = None) -> dict:
+                    timeout_s: float | None = None,
+                    deadline: float | None = None) -> dict:
         frame = await asyncio.wait_for(
-            self._links[name].call(op, params),
+            self._links[name].call(op, params, deadline=deadline),
             timeout_s or self.attempt_timeout_s)
         return frame
+
+    # -- single-key routing with the reliability walk ------------------------
+
+    def _note_success(self, shard: str) -> None:
+        self.tracker.record_success(shard)
+        breaker = self.breakers.get(shard)
+        if breaker is not None:
+            breaker.record_success()
+
+    def _note_transport_failure(self, shard: str, key: str,
+                                exc: BaseException) -> None:
+        reason = _failure_reason(exc)
+        self.tracker.record_failure(shard, reason=reason)
+        breaker = self.breakers.get(shard)
+        if breaker is not None:
+            breaker.record_failure()
+        self._m_route.labels(shard=shard, outcome="unreachable").inc()
+        log.warning("shard %s unreachable for %s: %s", shard, key,
+                    str(exc) or reason,
+                    extra={"shard": shard, "key": key, "reason": reason})
+
+    def _attempt_timeout(self, remaining: float | None,
+                         candidates_left: int) -> float:
+        """Per-attempt timeout: the remaining deadline budget (minus the
+        router's response headroom) split across the replicas still
+        untried, never above the configured ceiling and never below the
+        dial floor."""
+        if remaining is None:
+            return self.attempt_timeout_s
+        share = max(0.0, remaining - DEADLINE_HEADROOM_S) \
+            / max(1, candidates_left)
+        return max(MIN_ATTEMPT_TIMEOUT_S,
+                   min(self.attempt_timeout_s, share))
+
+    def _remaining(self, req: Request) -> float | None:
+        """Deadline budget left, or None when reliability is off (the
+        legacy router ignored deadlines entirely)."""
+        if not self.reliability.enabled:
+            return None
+        return req.remaining()
+
+    def _shed(self, key: str, span_args: dict,
+              overshoot: float) -> None:
+        self._m_shed.labels(stage="router").inc()
+        span_args["outcome"] = "deadline"
+        log.warning("shed %s at router (%.1fms past deadline)", key,
+                    overshoot * 1e3, extra={"key": key})
+        raise DeadlineExceeded("router", overshoot, 0.0)
+
+    def _finish_frame(self, req: Request, key: str, shard: str,
+                      frame: dict, outcome: str, span_args: dict) -> Any:
+        """Common tail for an answered attempt: bookkeeping + unwrap."""
+        self._note_success(shard)
+        if frame.get("ok"):
+            self._m_route.labels(shard=shard, outcome=outcome).inc()
+            span_args["shard"] = shard
+            span_args["outcome"] = outcome
+            result = frame.get("result")
+            if isinstance(result, dict):
+                result.setdefault("shard", shard)
+            return result
+        self._m_route.labels(shard=shard, outcome="error").inc()
+        span_args["shard"] = shard
+        span_args["outcome"] = "error"
+        error = frame.get("error")
+        if not isinstance(error, dict):
+            raise ProtocolError(f"malformed failure frame from "
+                                f"{shard}: {frame!r}")
+        raise payload_to_error(error)
 
     async def _route_single(self, req: Request, key: str,
                             replicas: Sequence[str],
                             span_args: dict) -> Any:
-        """Walk a replica chain for one request; transport failures fail
-        over, typed shard errors forward."""
+        """Walk a replica chain for one request.
+
+        Transport failures fail over (budgeted), typed shard errors
+        forward, open breakers skip, a spent deadline sheds, and an
+        idle-past-the-quantile first attempt hedges.
+        """
         order = self.tracker.order(replicas)
         span_args["replicas"] = list(order)
-        for i, shard in enumerate(order):
-            if i:
-                await asyncio.sleep(
-                    self.failover_policy.delay(i, key))
-            try:
-                frame = await self._call(shard, req.op, req.params)
-            except _TRANSPORT_ERRORS as e:
-                self.tracker.record_failure(shard)
+        if self.retry_budget is not None:
+            self.retry_budget.on_request()
+        pending = list(order)
+        tried: list[str] = []
+        dialed_any = False
+        while pending:
+            remaining = self._remaining(req)
+            if remaining is not None and remaining <= 0:
+                self._shed(key, span_args, -remaining)
+            shard = pending.pop(0)
+            breaker = self.breakers.get(shard)
+            if breaker is not None and not breaker.allow():
                 self._m_route.labels(shard=shard,
-                                     outcome="unreachable").inc()
-                log.warning("shard %s unreachable for %s: %s",
-                            shard, key, e,
-                            extra={"shard": shard, "key": key})
+                                     outcome="skipped").inc()
                 continue
-            self.tracker.record_success(shard)
-            if frame.get("ok"):
-                outcome = "ok" if i == 0 else "failover"
-                self._m_route.labels(shard=shard, outcome=outcome).inc()
-                span_args["shard"] = shard
-                span_args["outcome"] = outcome
-                result = frame.get("result")
-                if isinstance(result, dict):
-                    result.setdefault("shard", shard)
-                return result
-            self._m_route.labels(shard=shard, outcome="error").inc()
-            span_args["shard"] = shard
-            span_args["outcome"] = "error"
-            error = frame.get("error")
-            if not isinstance(error, dict):
-                raise ProtocolError(f"malformed failure frame from "
-                                    f"{shard}: {frame!r}")
-            raise payload_to_error(error)
+            if dialed_any:
+                # a failover attempt: pay the retry budget, then the
+                # tiny de-correlating backoff
+                if self.retry_budget is not None \
+                        and not self.retry_budget.try_spend():
+                    span_args["outcome"] = "retry-budget"
+                    raise RetryBudgetExhausted(key, tuple(tried))
+                await asyncio.sleep(
+                    self.failover_policy.delay(len(tried), key))
+                remaining = self._remaining(req)
+                if remaining is not None and remaining <= 0:
+                    self._shed(key, span_args, -remaining)
+            timeout = self._attempt_timeout(remaining, 1 + len(pending))
+            hedge_delay = self.hedge_delay() if not dialed_any else None
+            dialed_any = True
+            tried.append(shard)
+            if hedge_delay is not None and pending \
+                    and req.op in ("run", "characterize"):
+                result = await self._attempt_hedged(
+                    req, key, shard, pending, timeout, hedge_delay,
+                    tried, span_args)
+            else:
+                result = await self._attempt_plain(
+                    req, key, shard, timeout, len(tried), span_args)
+            if result is not None:
+                return result.unwrap(self, req, key, span_args)
+        if not dialed_any:
+            # every replica sat behind an open breaker: nothing was even
+            # dialed — a distinct, typed condition
+            span_args["outcome"] = "circuit-open"
+            raise CircuitOpen(key, tuple(order))
         span_args["outcome"] = "unavailable"
-        raise ShardUnavailable(key, tried=order)
+        raise ShardUnavailable(key, tried=tuple(tried))
+
+    async def _attempt_plain(self, req: Request, key: str, shard: str,
+                             timeout: float, attempt_no: int,
+                             span_args: dict) -> "_Answered | None":
+        t0 = time.perf_counter()
+        try:
+            frame = await self._call(shard, req.op, req.params, timeout,
+                                     deadline=req.deadline)
+        except _TRANSPORT_ERRORS as e:
+            self._note_transport_failure(shard, key, e)
+            return None
+        self._note_latency(time.perf_counter() - t0)
+        outcome = "ok" if attempt_no == 1 else "failover"
+        return _Answered(shard, frame, outcome)
+
+    async def _attempt_hedged(self, req: Request, key: str,
+                              primary: str, pending: list[str],
+                              timeout: float, hedge_delay: float,
+                              tried: list[str],
+                              span_args: dict) -> "_Answered | None":
+        """First attempt with a latency hedge.
+
+        Dial ``primary``; once it has been in flight for ``hedge_delay``
+        without answering, spend a retry-budget token and dial the next
+        breaker-admitted replica concurrently.  First answer wins; the
+        loser is cancelled (its breaker slot released, its connection
+        closed by the link's failure path, never pooled).
+        """
+        loop = asyncio.get_running_loop()
+        t0 = time.perf_counter()
+        tasks: dict[asyncio.Task, str] = {
+            loop.create_task(self._call(primary, req.op, req.params,
+                                        timeout,
+                                        deadline=req.deadline)): primary}
+        hedge_armed = True
+        winner: _Answered | None = None
+        while tasks:
+            wait_for = hedge_delay if hedge_armed else None
+            done, _ = await asyncio.wait(
+                set(tasks), timeout=wait_for,
+                return_when=asyncio.FIRST_COMPLETED)
+            if not done and hedge_armed:
+                hedge_armed = False
+                backup = self._hedge_backup(pending)
+                if backup is None:
+                    continue
+                if self.retry_budget is not None \
+                        and not self.retry_budget.try_spend():
+                    continue       # no token: ride out the first attempt
+                self._m_hedge.labels(outcome="launched").inc()
+                span_args["hedged"] = backup
+                pending.remove(backup)
+                tried.append(backup)
+                remaining = self._remaining(req)
+                tasks[loop.create_task(self._call(
+                    backup, req.op, req.params,
+                    self._attempt_timeout(remaining, 1 + len(pending)),
+                    deadline=req.deadline))] = backup
+                continue
+            for task in done:
+                shard = tasks.pop(task)
+                exc = task.exception()
+                if exc is not None:
+                    if isinstance(exc, _TRANSPORT_ERRORS):
+                        self._note_transport_failure(shard, key, exc)
+                        continue
+                    raise exc
+                self._note_latency(time.perf_counter() - t0)
+                was_hedge = shard != primary
+                if was_hedge:
+                    self._m_hedge.labels(outcome="won").inc()
+                elif "hedged" in span_args:
+                    self._m_hedge.labels(outcome="lost").inc()
+                winner = _Answered(shard, task.result(),
+                                   "hedge" if was_hedge else "ok")
+                break
+            if winner is not None:
+                break
+        # cancel the loser (if any) and release its breaker probe slot
+        for task, shard in tasks.items():
+            task.cancel()
+            breaker = self.breakers.get(shard)
+            if breaker is not None:
+                breaker.record_abandoned()
+        return winner
+
+    def _hedge_backup(self, pending: Sequence[str]) -> str | None:
+        """The next breaker-admitted replica to hedge onto."""
+        for shard in pending:
+            breaker = self.breakers.get(shard)
+            if breaker is None or breaker.allow():
+                return shard
+        return None
+
+    # -- degraded serving ------------------------------------------------------
+
+    @staticmethod
+    def _stale_key(req: Request) -> str:
+        return req.op + ":" + json.dumps(req.params, sort_keys=True,
+                                         separators=(",", ":"))
+
+    def _remember(self, req: Request, result: Any) -> None:
+        if self._stale is None or not isinstance(result, dict) \
+                or result.get("degraded"):
+            return
+        self._stale.put(self._stale_key(req), result)
+
+    def _serve_stale(self, req: Request, cause: Exception,
+                     span_args: dict) -> dict | None:
+        """Last-good fallback: the most recent answer for this exact
+        request, under the staleness cap, marked degraded."""
+        if self._stale is None:
+            return None
+        hit = self._stale.get_stale(self._stale_key(req),
+                                    self.reliability.stale_cap_s)
+        if hit is None:
+            return None
+        result, age = hit
+        kind = getattr(cause, "kind", "internal")
+        self._m_degraded.labels(reason=kind).inc()
+        span_args["outcome"] = "degraded"
+        span_args["degraded_reason"] = kind
+        log.info("serving stale response (age %.3fs) after %s",
+                 age, kind, extra={"age_s": age, "reason": kind})
+        return dict(result, degraded=True, staleness_s=round(age, 3),
+                    served="stale")
+
+    # -- scatter-gather --------------------------------------------------------
 
     async def _scatter(self, op: str, params: dict[str, Any],
                        targets: Sequence[str] | None = None
@@ -347,11 +763,9 @@ class Router:
                 frame = await self._call(name, op, params,
                                          self.fanout_timeout_s)
             except _TRANSPORT_ERRORS as e:
-                self.tracker.record_failure(name)
-                self._m_route.labels(shard=name,
-                                     outcome="unreachable").inc()
+                self._note_transport_failure(name, f"_{op}", e)
                 return name, None, str(e)
-            self.tracker.record_success(name)
+            self._note_success(name)
             if frame.get("ok"):
                 self._m_route.labels(shard=name, outcome="ok").inc()
                 return name, frame.get("result"), None
@@ -382,6 +796,24 @@ class Router:
         with maybe_span(self.tracer, f"route:{req.op}") as span_args:
             return await self._dispatch_traced(req, span_args)
 
+    async def _route_keyed(self, req: Request, key: str,
+                           replicas: Sequence[str],
+                           span_args: dict) -> Any:
+        """The single-key walk wrapped in degraded serving: when the
+        whole chain fails *unavailably* (not a typed shard answer), a
+        fresh-enough last-good response beats the error."""
+        try:
+            result = await self._route_single(req, key, replicas,
+                                              span_args)
+        except (ShardUnavailable, CircuitOpen, RetryBudgetExhausted,
+                DeadlineExceeded) as e:
+            stale = self._serve_stale(req, e, span_args)
+            if stale is not None:
+                return stale
+            raise
+        self._remember(req, result)
+        return result
+
     async def _dispatch_traced(self, req: Request,
                                span_args: dict) -> Any:
         if req.op == "ping":
@@ -397,8 +829,8 @@ class Router:
         if req.op in ("run", "characterize"):
             key = self._routing_key(req.params)
             replicas = self.ring.owners(key, self.replication)
-            return await self._route_single(req, key, replicas,
-                                            span_args)
+            return await self._route_keyed(req, key, replicas,
+                                           span_args)
         if req.op == "workloads":
             # identical on every shard: any healthy one will do, with
             # the same transport-failover walk a keyed op gets
@@ -432,6 +864,28 @@ class Router:
                 entry["shards"].append(shard)
         return [merged[k] for k in sorted(merged)]
 
+    def reliability_snapshot(self) -> dict[str, Any]:
+        """The reliability layer's live state (the ``stats`` op's
+        ``reliability`` section — every breaker/budget/hedge/degraded
+        signal in one machine-readable place)."""
+        rel = self.reliability
+        out: dict[str, Any] = {"enabled": rel.enabled}
+        if not rel.enabled:
+            return out
+        out["breakers"] = {name: b.snapshot()
+                           for name, b in sorted(self.breakers.items())}
+        out["retry_budget"] = self.retry_budget.snapshot()
+        delay = self.hedge_delay()
+        out["hedge"] = {"quantile": rel.hedge_quantile,
+                        "delay_s": (round(delay, 6)
+                                    if delay is not None else None),
+                        "samples": len(self._lat_samples)}
+        if self._stale is not None:
+            out["stale"] = dict(self._stale.stats.as_dict(),
+                                entries=len(self._stale),
+                                cap_s=rel.stale_cap_s)
+        return out
+
     async def _gather_stats(self, span_args: dict) -> dict[str, Any]:
         results, missing = await self._scatter("stats", {})
         span_args["missing"] = missing
@@ -443,6 +897,7 @@ class Router:
                          "vnodes": self.ring.vnodes,
                          "replication": self.replication},
                 "health": self.tracker.snapshot(),
+                "reliability": self.reliability_snapshot(),
                 "metrics": self.registry.snapshot(),
                 "shards": results,
                 "partial": bool(missing), "missing": missing}
@@ -474,13 +929,14 @@ class Router:
                                              f"run/characterize, got "
                                              f"{op!r}"}}
             params = entry.get("params") or {}
-            sub = Request(op=op, id=req.id, params=params)
+            sub = Request(op=op, id=req.id, params=params,
+                          deadline=req.deadline)
             sub_span: dict[str, Any] = {}
             try:
                 key = self._routing_key(params)
                 replicas = self.ring.owners(key, self.replication)
-                result = await self._route_single(sub, key, replicas,
-                                                  sub_span)
+                result = await self._route_keyed(sub, key, replicas,
+                                                 sub_span)
             except Exception as e:  # noqa: BLE001 — per-entry, in-band
                 from ..service.protocol import error_to_payload
                 return {"ok": False, "error": error_to_payload(e)}
@@ -552,3 +1008,19 @@ class Router:
                 await writer.wait_closed()
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
+
+
+class _Answered:
+    """One answered shard attempt, pending unwrap."""
+
+    __slots__ = ("shard", "frame", "outcome")
+
+    def __init__(self, shard: str, frame: dict, outcome: str):
+        self.shard = shard
+        self.frame = frame
+        self.outcome = outcome
+
+    def unwrap(self, router: Router, req: Request, key: str,
+               span_args: dict) -> Any:
+        return router._finish_frame(req, key, self.shard, self.frame,
+                                    self.outcome, span_args)

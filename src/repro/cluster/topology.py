@@ -29,6 +29,7 @@ import sys
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from ..resilience.netchaos import ChaosProxy, NetFaultSpec
 from ..service.server import ServiceThread
 from .node import ShardService
 from .ring import DEFAULT_VNODES, HashRing
@@ -111,20 +112,35 @@ class ClusterThread:
     what clients dial.  ``kill_shard`` stops one shard (its port goes
     dark — the transport failure the router's failover exists for);
     ``restart_shard`` rebuilds the same shard on the same port.
+
+    With ``netchaos=True`` every router→shard hop runs through a
+    :class:`~repro.resilience.netchaos.ChaosProxy` (one per shard,
+    deterministically seeded from ``netchaos_seed`` and the shard index).
+    The proxies start transparent; ``cluster.proxies[name].set_faults``
+    is the live chaos lever — black-holing a proxy makes that shard's
+    port a partition, which is a different failure than ``kill_shard``'s
+    connection-refused.
     """
 
     def __init__(self, spec: ClusterSpec, *,
                  shard_factory: Callable[[str, tuple[str, ...]],
                                          ShardService] | None = None,
                  host: str = "127.0.0.1", port: int = 0,
-                 router_kwargs: dict[str, Any] | None = None):
+                 router_kwargs: dict[str, Any] | None = None,
+                 netchaos: bool = False, netchaos_seed: int = 0,
+                 netchaos_faults: "NetFaultSpec | None" = None):
         self.spec = spec
         self.host = host
         self._want_port = port
         self.shard_factory = shard_factory or default_shard_factory
         self.router_kwargs = dict(router_kwargs or {})
         self.assignment = spec.assignment()
+        self.netchaos = netchaos
+        self.netchaos_seed = netchaos_seed
+        self.netchaos_faults = netchaos_faults
         self.addresses: dict[str, ShardAddress] = {}
+        self.shard_addresses: dict[str, ShardAddress] = {}
+        self.proxies: dict[str, ChaosProxy] = {}
         self.shard_threads: dict[str, ServiceThread] = {}
         self.router: Router | None = None
         self.router_thread: ServiceThread | None = None
@@ -132,13 +148,25 @@ class ClusterThread:
 
     def __enter__(self) -> "ClusterThread":
         try:
-            for name in self.spec.shards:
+            for i, name in enumerate(self.spec.shards):
                 service = self.shard_factory(name, self.assignment[name])
                 thread = ServiceThread(service, host=self.host, port=0)
                 thread.__enter__()
                 self.shard_threads[name] = thread
-                self.addresses[name] = ShardAddress(
-                    name, thread.host, thread.port)
+                direct = ShardAddress(name, thread.host, thread.port)
+                self.shard_addresses[name] = direct
+                if self.netchaos:
+                    proxy = ChaosProxy(
+                        direct.host, direct.port,
+                        faults=self.netchaos_faults,
+                        seed=self.netchaos_seed * 1000 + i,
+                        host=self.host, name=name)
+                    proxy.start()
+                    self.proxies[name] = proxy
+                    self.addresses[name] = ShardAddress(
+                        name, proxy.host, proxy.port)
+                else:
+                    self.addresses[name] = direct
             self.router = Router(
                 list(self.addresses.values()),
                 replication=self.spec.replication,
@@ -156,23 +184,33 @@ class ClusterThread:
         if self.router_thread is not None:
             self.router_thread.__exit__(*exc)
             self.router_thread = None
+        for proxy in self.proxies.values():
+            proxy.stop()
+        self.proxies.clear()
         for thread in self.shard_threads.values():
             thread.__exit__(*exc)
         self.shard_threads.clear()
 
     # -- chaos levers --------------------------------------------------------
 
+    def set_shard_faults(self, name: str, faults: NetFaultSpec) -> None:
+        """Swap one shard proxy's fault spec (requires ``netchaos``)."""
+        if name not in self.proxies:
+            raise ValueError(f"no chaos proxy for shard {name!r} "
+                             "(booted without netchaos=True?)")
+        self.proxies[name].set_faults(faults)
+
     def kill_shard(self, name: str) -> ShardAddress:
         """Stop one shard's thread; its port stops answering."""
         thread = self.shard_threads.pop(name)
         thread.__exit__(None, None, None)
-        return self.addresses[name]
+        return self.shard_addresses.get(name) or self.addresses[name]
 
     def restart_shard(self, name: str) -> ShardAddress:
-        """Rebuild a killed shard on its original port."""
+        """Rebuild a killed shard on its original (direct) port."""
         if name in self.shard_threads:
             raise ValueError(f"shard {name} is already running")
-        addr = self.addresses[name]
+        addr = self.shard_addresses.get(name) or self.addresses[name]
         service = self.shard_factory(name, self.assignment[name])
         thread = ServiceThread(service, host=addr.host, port=addr.port)
         thread.__enter__()

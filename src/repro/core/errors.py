@@ -232,6 +232,78 @@ class ShardUnavailable(ServiceError):
         self.tried = tuple(tried)
 
 
+class DeadlineExceeded(ServiceError):
+    """A request's end-to-end time budget ran out.
+
+    Raised wherever the budget is discovered to be spent: in the client
+    when the round trip outlives ``timeout_s``, in the scheduler when
+    queued work expires before execution (shedding — the work is never
+    run), and in the router when the remaining budget cannot cover
+    another replica attempt.  ``stage`` names that discovery point and
+    ``elapsed_s``/``budget_s`` carry the breakdown, so the error message
+    a caller sees says *where* the time went, not just that it went.
+
+    Retryable in principle — but only with a fresh budget.
+    """
+
+    kind = "deadline-exceeded"
+
+    def __init__(self, stage: str, elapsed_s: float, budget_s: float):
+        if budget_s > 0:
+            detail = (f"{elapsed_s * 1e3:.1f}ms elapsed of a "
+                      f"{budget_s * 1e3:.1f}ms budget")
+        else:
+            # a shedding stage only sees the absolute deadline, not the
+            # original budget — report how far past it the work was
+            detail = f"{elapsed_s * 1e3:.1f}ms past the deadline"
+        super().__init__(f"deadline exceeded at {stage}: {detail}")
+        self.stage = stage
+        self.elapsed_s = elapsed_s
+        self.budget_s = budget_s
+
+
+class CircuitOpen(ServiceError):
+    """Every replica that owns a key is behind an open circuit breaker.
+
+    Distinct from :class:`ShardUnavailable`: no connection was even
+    attempted — the breakers' recent history says the attempts would
+    fail, so the router sheds the request instead of burning its
+    deadline on doomed dials.  Retryable after the breaker's reset
+    timeout (half-open probes readmit a recovered shard).
+    """
+
+    kind = "circuit-open"
+
+    def __init__(self, key: str, shards: tuple[str, ...] = ()):
+        chain = ", ".join(shards) if shards else "all replicas"
+        super().__init__(f"circuit open for every replica of {key!r} "
+                         f"({chain}); retry after reset timeout")
+        self.key = key
+        self.shards = tuple(shards)
+
+
+class RetryBudgetExhausted(ServiceError):
+    """Failover stopped because the cluster-wide retry budget is spent.
+
+    The token-bucket budget caps retry amplification: when many keys
+    fail at once, unbounded per-request failover multiplies offered load
+    exactly when the cluster can least afford it.  The first attempt
+    already failed and no token was available to pay for another, so the
+    request fails fast.  Retryable after a delay (tokens refill with
+    fresh traffic).
+    """
+
+    kind = "retry-budget"
+
+    def __init__(self, key: str, tried: tuple[str, ...] = ()):
+        chain = " -> ".join(tried) if tried else "none"
+        super().__init__(f"retry budget exhausted for {key!r} after "
+                         f"trying {chain}; failing fast to cap "
+                         "amplification")
+        self.key = key
+        self.tried = tuple(tried)
+
+
 class RemoteError(ServiceError):
     """Client-side image of a failure the server shipped over the wire.
 

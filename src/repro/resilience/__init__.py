@@ -14,6 +14,9 @@ allocator blow-up from losing it:
   enabling ``--resume``
 * :mod:`~repro.resilience.chaos` — deterministic fault injection (hang /
   crash / OOM / corrupt) proving every recovery path fires
+* :mod:`~repro.resilience.netchaos` — a deterministic TCP chaos proxy
+  (latency, bandwidth caps, resets, corruption, black holes, slow-loris
+  stalls) for network-level failure drills
 * :mod:`~repro.resilience.matrix` — the resilient sweep driver with
   graceful degradation (failed cells become report entries, not aborts)
 """
@@ -45,13 +48,15 @@ from .executor import (
     run_cell_resilient,
 )
 from .matrix import CellFailure, MatrixResult, matrix_cells, run_matrix
+from .netchaos import ChaosProxy, NetFaultSpec
 from .retry import RetryPolicy, backoff_schedule, run_with_retries
 
 __all__ = [
     "Cell", "CellCrash", "CellExecutionError", "CellFailure", "CellOOM",
-    "CellTimeout", "ChaosSpec", "CheckpointStore", "ExecutorConfig",
-    "FAULT_KINDS", "Fault", "FaultInjected", "HarnessError", "MACHINES",
-    "MatrixResult", "MetricsUnavailable", "RestoredMetrics",
+    "CellTimeout", "ChaosProxy", "ChaosSpec", "CheckpointStore",
+    "ExecutorConfig", "FAULT_KINDS", "Fault", "FaultInjected",
+    "HarnessError", "MACHINES", "MatrixResult", "MetricsUnavailable",
+    "NetFaultSpec", "RestoredMetrics",
     "RestoredResult", "RetriesExhausted", "RetryPolicy",
     "backoff_schedule", "matrix_cells", "record_to_row", "row_to_record",
     "run_cell", "run_cell_inline", "run_cell_once", "run_cell_resilient",

@@ -33,6 +33,7 @@ class CacheStats:
     inserts: int = 0
     evictions: int = 0          # capacity pressure
     expirations: int = 0        # TTL lapses
+    stale_serves: int = 0       # degraded reads of expired entries
 
     @property
     def hit_rate(self) -> float:
@@ -43,15 +44,37 @@ class CacheStats:
         return {"hits": self.hits, "misses": self.misses,
                 "inserts": self.inserts, "evictions": self.evictions,
                 "expirations": self.expirations,
+                "stale_serves": self.stale_serves,
                 "hit_rate": round(self.hit_rate, 6)}
 
 
+class _Entry:
+    """One cache slot: the value plus the timing the TTL and the
+    serve-stale-on-error path both read."""
+
+    __slots__ = ("value", "deadline", "inserted_at", "expiry_counted")
+
+    def __init__(self, value: Any, deadline: float | None,
+                 inserted_at: float):
+        self.value = value
+        self.deadline = deadline            # TTL lapse instant (or None)
+        self.inserted_at = inserted_at      # staleness-age anchor
+        self.expiry_counted = False         # expiration counted once
+
+
 class LRUCache:
-    """Bounded LRU mapping with optional TTL.
+    """Bounded LRU mapping with optional TTL and stale retention.
 
     ``capacity=0`` disables storage entirely (every ``get`` misses) —
     the cache-off baseline is the same object with a different knob, not
     a different code path.  ``ttl_s=None`` means entries never expire.
+
+    Expired entries are *retained* (present-but-expired) until capacity
+    pressure evicts them or a fresh ``put`` overwrites them: a normal
+    ``get`` treats them exactly as absent (miss + one-time expiration
+    count), but :meth:`get_stale` can still read them — the substrate of
+    degraded serving, where an out-of-date answer with an explicit
+    staleness age beats an error while the backend is down.
     """
 
     def __init__(self, capacity: int = 128, ttl_s: float | None = None,
@@ -64,7 +87,7 @@ class LRUCache:
         self.ttl_s = ttl_s
         self._clock = clock
         self._lock = threading.RLock()
-        self._data: dict[Hashable, tuple[Any, float | None]] = {}
+        self._data: dict[Hashable, _Entry] = {}
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -77,9 +100,9 @@ class LRUCache:
             entry = self._data.get(key)
             return entry is not None and not self._expired(entry)
 
-    def _expired(self, entry: tuple[Any, float | None]) -> bool:
-        deadline = entry[1]
-        return deadline is not None and self._clock() >= deadline
+    def _expired(self, entry: _Entry) -> bool:
+        return entry.deadline is not None \
+            and self._clock() >= entry.deadline
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         with self._lock:
@@ -88,8 +111,11 @@ class LRUCache:
                 self.stats.misses += 1
                 return default
             if self._expired(entry):
-                del self._data[key]
-                self.stats.expirations += 1
+                # retained (not promoted) for get_stale: capacity
+                # pressure still reclaims it in LRU order
+                if not entry.expiry_counted:
+                    entry.expiry_counted = True
+                    self.stats.expirations += 1
                 self.stats.misses += 1
                 return default
             # promote: dicts preserve insertion order; re-inserting moves
@@ -97,17 +123,39 @@ class LRUCache:
             del self._data[key]
             self._data[key] = entry
             self.stats.hits += 1
-            return entry[0]
+            return entry.value
+
+    def get_stale(self, key: Hashable,
+                  max_age_s: float | None = None
+                  ) -> tuple[Any, float] | None:
+        """Degraded read: ``(value, age_s)`` regardless of expiry.
+
+        ``age_s`` is seconds since the entry was inserted — the
+        staleness the caller must disclose.  ``max_age_s`` is the hard
+        staleness cap: an entry older than it is as good as absent.
+        Never promotes and never touches hit/miss counters (this path
+        only runs when the fresh path already failed); successful reads
+        count under ``stale_serves``.
+        """
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                return None
+            age = max(0.0, self._clock() - entry.inserted_at)
+            if max_age_s is not None and age > max_age_s:
+                return None
+            self.stats.stale_serves += 1
+            return entry.value, age
 
     def put(self, key: Hashable, value: Any) -> None:
         if self.capacity == 0:
             return
-        deadline = (self._clock() + self.ttl_s
-                    if self.ttl_s is not None else None)
+        now = self._clock()
+        deadline = now + self.ttl_s if self.ttl_s is not None else None
         with self._lock:
             if key in self._data:
                 del self._data[key]
-            self._data[key] = (value, deadline)
+            self._data[key] = _Entry(value, deadline, now)
             self.stats.inserts += 1
             while len(self._data) > self.capacity:
                 lru = next(iter(self._data))
@@ -115,7 +163,9 @@ class LRUCache:
                 self.stats.evictions += 1
 
     def keys(self) -> list[Hashable]:
-        """Current keys, LRU first (expired entries included until read)."""
+        """Current keys, LRU first (expired entries included until
+        evicted or overwritten — they remain readable via
+        :meth:`get_stale`)."""
         with self._lock:
             return list(self._data)
 

@@ -127,10 +127,17 @@ class LoadReport:
     elapsed_s: float
     latencies_ms: list[float]            # successful requests, sorted
     served: dict[str, int]               # cache / coalesced / executed
+    degraded: int = 0                    # ok responses marked degraded
+    max_staleness_s: float = 0.0         # worst disclosed staleness age
 
     @property
     def throughput_rps(self) -> float:
         return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered (fresh or degraded)."""
+        return self.ok / self.requests if self.requests else 0.0
 
     def latency_ms(self, q: float) -> float:
         return percentile(self.latencies_ms, q)
@@ -139,6 +146,9 @@ class LoadReport:
         lat = self.latencies_ms
         return {"requests": self.requests, "ok": self.ok,
                 "failed": self.failed,
+                "degraded": self.degraded,
+                "max_staleness_s": round(self.max_staleness_s, 3),
+                "availability": round(self.availability, 4),
                 "failures_by_kind": dict(self.failures_by_kind),
                 "elapsed_s": round(self.elapsed_s, 6),
                 "throughput_rps": round(self.throughput_rps, 3),
@@ -160,6 +170,9 @@ class LoadReport:
                  f"latency ms   p50={lat['p50']} p95={lat['p95']} "
                  f"p99={lat['p99']} max={lat['max']}",
                  f"served       {s['served']}"]
+        if self.degraded:
+            lines.append(f"degraded     {self.degraded} "
+                         f"(max staleness {s['max_staleness_s']}s)")
         if self.failures_by_kind:
             lines.append(f"failures     {dict(self.failures_by_kind)}")
         return "\n".join(lines)
@@ -175,14 +188,18 @@ class LoadGenerator:
 
     def __init__(self, host: str, port: int, *, concurrency: int = 8,
                  timeout_s: float = 300.0,
+                 deadline_s: float | None = None,
                  client_factory: Callable[[], ServiceClient] | None = None,
                  tracer: SpanTracer | None = None):
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
         self.host = host
         self.port = port
         self.concurrency = concurrency
         self.timeout_s = timeout_s
+        self.deadline_s = deadline_s
         self.tracer = tracer
         self._make_client = client_factory or (
             lambda: ServiceClient(self.host, self.port,
@@ -197,6 +214,8 @@ class LoadGenerator:
         served: dict[str, int] = {}
         ok_count = [0]
         fail_count = [0]
+        degraded_count = [0]
+        max_staleness = [0.0]
 
         def record_failure(kind: str) -> None:
             with lock:
@@ -215,8 +234,9 @@ class LoadGenerator:
                     with maybe_span(self.tracer, f"request:{query.op}",
                                     **query.params) as span_args:
                         try:
-                            result = client.request(query.op,
-                                                    **query.params)
+                            result = client.request(
+                                query.op, deadline_s=self.deadline_s,
+                                **query.params)
                         except GraphError as e:
                             kind = getattr(e, "kind", "internal")
                             span_args["failed"] = kind
@@ -233,11 +253,20 @@ class LoadGenerator:
                             continue
                         how = (result or {}).get("served") or "unknown"
                         span_args["served"] = how
+                        is_degraded = bool((result or {}).get("degraded"))
+                        staleness = float(
+                            (result or {}).get("staleness_s") or 0.0)
+                        if is_degraded:
+                            span_args["degraded"] = True
                     dt_ms = (time.perf_counter() - t0) * 1e3
                     with lock:
                         ok_count[0] += 1
                         latencies.append(dt_ms)
                         served[how] = served.get(how, 0) + 1
+                        if is_degraded:
+                            degraded_count[0] += 1
+                            if staleness > max_staleness[0]:
+                                max_staleness[0] = staleness
             finally:
                 client.close()
 
@@ -254,4 +283,6 @@ class LoadGenerator:
         return LoadReport(requests=len(plan), ok=ok_count[0],
                           failed=fail_count[0],
                           failures_by_kind=failures, elapsed_s=elapsed,
-                          latencies_ms=latencies, served=served)
+                          latencies_ms=latencies, served=served,
+                          degraded=degraded_count[0],
+                          max_staleness_s=max_staleness[0])

@@ -21,15 +21,19 @@ Response::
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.errors import (
     AdmissionRejected,
     BadRequest,
+    CircuitOpen,
+    DeadlineExceeded,
     GraphError,
     ProtocolError,
     RemoteError,
+    RetryBudgetExhausted,
     ShardUnavailable,
     VersionMismatch,
     WrongShard,
@@ -52,11 +56,31 @@ OPS = ("ping", "run", "characterize", "datasets", "workloads", "stats",
 
 @dataclass(frozen=True)
 class Request:
-    """One parsed, validated request frame."""
+    """One parsed, validated request frame.
+
+    ``deadline`` is the request's absolute end-to-end deadline — seconds
+    on the Unix epoch clock (``time.time()``), the one clock every layer
+    of an in-process or single-host deployment shares.  ``None`` means
+    the caller set no budget.  The deadline *propagates*: the router
+    copies it onto every downstream shard frame, so a shard can shed
+    work whose requester has already given up.
+    """
 
     op: str
     id: str
     params: dict[str, Any] = field(default_factory=dict)
+    deadline: float | None = None
+
+    def remaining(self, now: float | None = None) -> float | None:
+        """Seconds of budget left (negative when expired); None if
+        no deadline was set."""
+        if self.deadline is None:
+            return None
+        return self.deadline - (time.time() if now is None else now)
+
+    def expired(self, now: float | None = None) -> bool:
+        rem = self.remaining(now)
+        return rem is not None and rem <= 0.0
 
 
 # -- encoding ----------------------------------------------------------------
@@ -71,9 +95,13 @@ def _frame(obj: dict[str, Any]) -> bytes:
 
 
 def encode_request(op: str, req_id: str,
-                   params: dict[str, Any] | None = None) -> bytes:
-    return _frame({"v": PROTOCOL_VERSION, "id": req_id, "op": op,
-                   "params": params or {}})
+                   params: dict[str, Any] | None = None, *,
+                   deadline: float | None = None) -> bytes:
+    frame = {"v": PROTOCOL_VERSION, "id": req_id, "op": op,
+             "params": params or {}}
+    if deadline is not None:
+        frame["deadline"] = float(deadline)
+    return _frame(frame)
 
 
 def encode_response(req_id: str | None, result: Any) -> bytes:
@@ -128,7 +156,14 @@ def parse_request(frame: dict[str, Any]) -> Request:
     if not isinstance(params, dict):
         raise ProtocolError(f"params is {type(params).__name__}, "
                             "expected object")
-    return Request(op=op, id=req_id, params=params)
+    deadline = frame.get("deadline")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) \
+                or isinstance(deadline, bool):
+            raise ProtocolError(f"deadline is {type(deadline).__name__}, "
+                                "expected epoch seconds")
+        deadline = float(deadline)
+    return Request(op=op, id=req_id, params=params, deadline=deadline)
 
 
 # -- error payloads ----------------------------------------------------------
@@ -173,6 +208,18 @@ def payload_to_error(payload: dict[str, Any]) -> GraphError:
         return err
     if kind == ShardUnavailable.kind:
         err = ShardUnavailable("?")
+        err.args = (message,)
+        return err
+    if kind == DeadlineExceeded.kind:
+        err = DeadlineExceeded("remote", 0.0, 0.0)
+        err.args = (message,)
+        return err
+    if kind == CircuitOpen.kind:
+        err = CircuitOpen("?")
+        err.args = (message,)
+        return err
+    if kind == RetryBudgetExhausted.kind:
+        err = RetryBudgetExhausted("?")
         err.args = (message,)
         return err
     return RemoteError(kind, message, remote_type)

@@ -26,9 +26,14 @@ pool handoff and the batch window, so the bookkeeping needs no locks.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 
-from ..core.errors import AdmissionRejected, CellExecutionError
+from ..core.errors import (
+    AdmissionRejected,
+    CellExecutionError,
+    DeadlineExceeded,
+)
 from ..obs.logs import get_logger
 from ..resilience.cell import Cell
 from .cache import CacheTiers, row_key
@@ -39,18 +44,22 @@ log = get_logger("service.scheduler")
 
 @dataclass(frozen=True)
 class SchedulerConfig:
-    """Knobs for admission and coalescing."""
+    """Knobs for admission, coalescing, and degraded serving."""
 
     max_pending: int = 64            # distinct executions queued+running
     batching: bool = True            # coalesce identical in-flight cells
     batch_window_s: float = 0.0      # hold before dispatch to collect dups
     caching: bool = True             # serve/fill the row cache tier
+    serve_stale: bool = True         # degraded reads on execution failure
+    stale_cap_s: float = 60.0        # hard staleness cap for degraded reads
 
     def __post_init__(self):
         if self.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         if self.batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
+        if self.stale_cap_s <= 0:
+            raise ValueError("stale_cap_s must be positive")
 
 
 @dataclass
@@ -63,24 +72,44 @@ class SchedulerStats:
     executed: int = 0                # dispatched to the pool
     rejected: int = 0                # shed by admission control
     failed: int = 0                  # executions that raised
+    shed_expired: int = 0            # deadline lapsed before execution
+    degraded: int = 0                # stale rows served on failure
 
     def as_dict(self) -> dict[str, int]:
         return {"submitted": self.submitted, "cache_hits": self.cache_hits,
                 "coalesced": self.coalesced, "executed": self.executed,
-                "rejected": self.rejected, "failed": self.failed}
+                "rejected": self.rejected, "failed": self.failed,
+                "shed_expired": self.shed_expired,
+                "degraded": self.degraded}
 
 
 class _Batch:
-    """One in-flight execution and everyone waiting on it."""
+    """One in-flight execution and everyone waiting on it.
+
+    ``deadline`` is the *latest* absolute deadline among waiters: the
+    execution is still worth running while any requester would accept
+    the result, and sheddable once every one of them has given up.
+    """
 
     def __init__(self, cell: Cell):
         self.cell = cell
         self.waiters: list[asyncio.Future] = []
+        self.deadline: float | None = None
+        self._unbounded = False          # a waiter with no deadline joined
 
-    def join(self) -> asyncio.Future:
+    def join(self, deadline: float | None = None) -> asyncio.Future:
         fut = asyncio.get_running_loop().create_future()
         self.waiters.append(fut)
+        if deadline is None:
+            self._unbounded = True
+            self.deadline = None
+        elif not self._unbounded:
+            self.deadline = deadline if self.deadline is None \
+                else max(self.deadline, deadline)
         return fut
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
 
     def resolve(self, record: dict) -> None:
         for fut in self.waiters:
@@ -138,16 +167,31 @@ class Scheduler:
                             for k, v in self.stats.as_dict().items()]},
         }
 
-    async def submit(self, cell: Cell) -> dict:
+    def _shed(self, key: str, deadline: float, now: float) -> None:
+        """Count and raise a scheduler-stage deadline shed."""
+        self.stats.shed_expired += 1
+        overshoot = now - deadline
+        log.warning("shed expired request %s (%.1fms past deadline)",
+                    key, overshoot * 1e3,
+                    extra={"cell": key, "overshoot_s": overshoot})
+        raise DeadlineExceeded("scheduler", overshoot, 0.0)
+
+    async def submit(self, cell: Cell,
+                     deadline: float | None = None) -> dict:
         """Resolve one request: cache tier, coalesce, or execute.
 
         Returns the flat row record (annotated with ``served``:
-        ``cache`` / ``coalesced`` / ``executed``); raises the typed
-        execution error if the cell's execution failed, or
-        :class:`AdmissionRejected` when the server is saturated.
+        ``cache`` / ``coalesced`` / ``executed`` / ``stale``); raises the
+        typed execution error if the cell's execution failed,
+        :class:`AdmissionRejected` when the server is saturated, or
+        :class:`DeadlineExceeded` when ``deadline`` (absolute epoch
+        seconds) lapsed before the work could be served — expired work
+        is *shed*, never executed.
         """
         self.stats.submitted += 1
         key = row_key(cell)
+        if deadline is not None and time.time() >= deadline:
+            self._shed(key, deadline, time.time())
         if self.config.caching and self.caches is not None:
             record = self.caches.rows.get(key)
             if record is not None:
@@ -155,8 +199,9 @@ class Scheduler:
                 return dict(record, served="cache")
         if self.config.batching and key in self._inflight:
             self.stats.coalesced += 1
-            record = await self._inflight[key].join()
-            record["served"] = "coalesced"
+            record = await self._inflight[key].join(deadline)
+            if not record.get("degraded"):
+                record["served"] = "coalesced"
             return record
         if self._pending >= self.config.max_pending:
             self.stats.rejected += 1
@@ -167,19 +212,46 @@ class Scheduler:
         batch = _Batch(cell)
         self._inflight[key] = batch
         self._pending += 1
-        fut = batch.join()
+        fut = batch.join(deadline)
         task = asyncio.get_running_loop().create_task(
             self._execute(key, batch))
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
         record = await fut
-        record["served"] = "executed"
+        if not record.get("degraded"):
+            record["served"] = "executed"
         return record
 
+    def _stale_record(self, key: str) -> dict | None:
+        """Degraded fallback: an expired-but-present row within the
+        staleness cap, marked so the client knows what it got."""
+        if not (self.config.serve_stale and self.config.caching
+                and self.caches is not None):
+            return None
+        stale = self.caches.rows.get_stale(key, self.config.stale_cap_s)
+        if stale is None:
+            return None
+        record, age = stale
+        return dict(record, degraded=True, staleness_s=round(age, 3),
+                    served="stale")
+
     async def _execute(self, key: str, batch: _Batch) -> None:
+        if self.config.batch_window_s > 0:
+            await asyncio.sleep(self.config.batch_window_s)
+        now = time.time()
+        if batch.expired(now):
+            # every waiter's deadline lapsed while queued: shed the work
+            # instead of burning a pool slot on a dead request
+            self._inflight.pop(key, None)
+            self._pending -= 1
+            self.stats.shed_expired += 1
+            overshoot = now - (batch.deadline or now)
+            log.warning("shed expired batch %s (%.1fms past deadline)",
+                        key, overshoot * 1e3,
+                        extra={"cell": key, "overshoot_s": overshoot})
+            batch.fail(DeadlineExceeded("scheduler", overshoot, 0.0))
+            return
         try:
-            if self.config.batch_window_s > 0:
-                await asyncio.sleep(self.config.batch_window_s)
             record = await self.pool.run_record(batch.cell)
         except BaseException as e:  # noqa: BLE001 — fan out, don't lose it
             self.stats.failed += 1
@@ -188,6 +260,20 @@ class Scheduler:
             log.warning("execution failed for %s: %s", key, e,
                         extra={"cell": key,
                                "kind": getattr(e, "kind", "internal")})
+            stale = None
+            if isinstance(e, CellExecutionError):
+                # degraded serving: a stale answer with a disclosed age
+                # beats an error while the backend is failing — but only
+                # for *execution* failures, never for sheds or cancels
+                stale = self._stale_record(key)
+            if stale is not None:
+                self.stats.degraded += 1
+                log.info("served stale row for %s (age %.3fs)", key,
+                         stale["staleness_s"],
+                         extra={"cell": key,
+                                "staleness_s": stale["staleness_s"]})
+                batch.resolve(stale)
+                return
             batch.fail(e)
             if not isinstance(e, (CellExecutionError, Exception)):
                 raise          # CancelledError etc.: propagate after fanning

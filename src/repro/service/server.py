@@ -317,16 +317,23 @@ class GraphService:
         if req.op == "stats":
             return self.stats()
         # run / characterize both execute the cell; they differ in how
-        # much of the record goes back over the wire
+        # much of the record goes back over the wire.  The wire deadline
+        # rides into the scheduler, which sheds already-expired work.
         cell = cell_from_params(req.params)
-        record = await self.scheduler.submit(cell)
+        record = await self.scheduler.submit(cell, deadline=req.deadline)
         if req.op == "run":
-            return {"workload": record["workload"],
-                    "dataset": record["dataset"],
-                    "outputs": record.get("outputs", {}),
-                    "elapsed_s": record.get("elapsed_s"),
-                    "served": record.get("served"),
-                    "attempts": record.get("attempts")}
+            out = {"workload": record["workload"],
+                   "dataset": record["dataset"],
+                   "outputs": record.get("outputs", {}),
+                   "elapsed_s": record.get("elapsed_s"),
+                   "served": record.get("served"),
+                   "attempts": record.get("attempts")}
+            if record.get("degraded"):
+                # the degraded-response field contract: degraded=true
+                # always travels with the staleness age
+                out["degraded"] = True
+                out["staleness_s"] = record.get("staleness_s")
+            return out
         return record
 
     def stats(self) -> dict[str, Any]:

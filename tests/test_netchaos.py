@@ -1,0 +1,169 @@
+"""Tests for the deterministic TCP chaos proxy: transparent
+passthrough, black-hole partitions, mid-stream resets, payload
+corruption surfacing as typed protocol errors, slow-loris stalls bounded
+by the client's total-read deadline, runtime fault swaps, and the seeded
+determinism of per-connection fault plans."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import DeadlineExceeded, ProtocolError
+from repro.resilience import ChaosProxy, NetFaultSpec
+from repro.resilience.netchaos import _ConnPlan
+from repro.service import (
+    GraphService,
+    PoolConfig,
+    ServiceClient,
+    ServiceThread,
+)
+
+
+def _inline_service() -> GraphService:
+    return GraphService(pool_config=PoolConfig(size=2,
+                                               isolation="inline"))
+
+
+def _proxy_client(st, faults=None, seed=0, timeout_s=30.0):
+    proxy = ChaosProxy(st.host, st.port, faults=faults, seed=seed)
+    host, port = proxy.start()
+    return proxy, ServiceClient(host, port, timeout_s=timeout_s)
+
+
+class TestNetFaultSpec:
+    def test_zero_value_is_transparent(self):
+        assert NetFaultSpec().transparent()
+        assert not NetFaultSpec(latency_ms=1.0).transparent()
+
+    def test_but_replaces_fields(self):
+        spec = NetFaultSpec(latency_ms=5.0).but(blackhole=True)
+        assert spec.latency_ms == 5.0 and spec.blackhole
+
+    @pytest.mark.parametrize("bad", [
+        dict(latency_ms=-1), dict(jitter_ms=-1),
+        dict(bandwidth_bps=0), dict(reset_p=1.5),
+        dict(corrupt_p=-0.1), dict(stall_after_bytes=-1),
+    ])
+    def test_bad_knobs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            NetFaultSpec(**bad)
+
+    def test_conn_plans_are_seed_deterministic(self):
+        spec = NetFaultSpec(reset_p=1.0, reset_after_bytes=1000,
+                            corrupt_p=0.5)
+        a = _ConnPlan(spec, random.Random("netchaos:7:3"))
+        b = _ConnPlan(spec, random.Random("netchaos:7:3"))
+        c = _ConnPlan(spec, random.Random("netchaos:7:4"))
+        assert (a.reset_at, a.corrupt) == (b.reset_at, b.corrupt)
+        # a different conn_id draws an independent plan (offsets differ
+        # with overwhelming probability over a 1000-byte range)
+        assert a.reset_at != c.reset_at or a.corrupt != c.corrupt
+
+
+class TestChaosProxyLive:
+    def test_transparent_passthrough(self):
+        with ServiceThread(_inline_service()) as st:
+            proxy, client = _proxy_client(st)
+            with proxy, client:
+                assert client.ping()["pong"] is True
+                assert client.run("BFS", "ldbc", scale=0.02,
+                                  machine="test")["served"] == "executed"
+            snap = proxy.snapshot()
+            assert snap["connections"] == 1
+            assert snap["bytes_up"] > 0 and snap["bytes_down"] > 0
+            assert snap["resets"] == snap["corrupted"] == 0
+
+    def test_blackhole_hangs_until_the_deadline(self):
+        with ServiceThread(_inline_service()) as st:
+            proxy, client = _proxy_client(
+                st, faults=NetFaultSpec(blackhole=True))
+            with proxy, client:
+                with pytest.raises(DeadlineExceeded):
+                    client.request("ping", deadline_s=0.3)
+            snap = proxy.snapshot()
+            assert snap["blackholed_chunks"] >= 1
+            assert snap["bytes_up"] == snap["bytes_down"] == 0
+
+    def test_reset_mid_stream_is_a_transport_error(self):
+        with ServiceThread(_inline_service()) as st:
+            proxy, client = _proxy_client(
+                st, faults=NetFaultSpec(reset_p=1.0,
+                                        reset_after_bytes=8))
+            with proxy, client:
+                # the RST lands after the seeded byte offset — it may
+                # race a fast response through first, but then kills the
+                # connection, so within a couple of round trips the
+                # client must see a transport error
+                with pytest.raises((OSError, ProtocolError)):
+                    for _ in range(5):
+                        client.ping()
+            assert proxy.snapshot()["resets"] >= 1
+
+    def test_corruption_surfaces_as_a_typed_protocol_error(self):
+        # one flipped byte in a JSON-lines frame must never pass as a
+        # valid answer — either the server rejects the request frame or
+        # the client rejects the response frame, both typed
+        with ServiceThread(_inline_service()) as st:
+            proxy, client = _proxy_client(
+                st, faults=NetFaultSpec(corrupt_p=1.0))
+            with proxy, client:
+                with pytest.raises((ProtocolError, OSError)):
+                    client.ping()
+            assert proxy.snapshot()["corrupted"] == 1
+
+    def test_slow_loris_stall_is_bounded_by_the_total_read_deadline(self):
+        # the response starts arriving and then stalls: a per-recv
+        # timeout would wait forever one byte at a time; the client's
+        # whole-round-trip budget must end the wait
+        with ServiceThread(_inline_service()) as st:
+            proxy, client = _proxy_client(
+                st, faults=NetFaultSpec(stall_after_bytes=10))
+            with proxy, client:
+                with pytest.raises(DeadlineExceeded):
+                    client.request("ping", deadline_s=0.4)
+            snap = proxy.snapshot()
+            assert snap["stalled"] >= 1
+            assert 0 < snap["bytes_down"] <= 10
+
+    def test_runtime_fault_swap_hits_live_connections(self):
+        with ServiceThread(_inline_service()) as st:
+            proxy, client = _proxy_client(st)
+            with proxy, client:
+                assert client.ping()["pong"] is True
+                proxy.set_faults(NetFaultSpec(blackhole=True))
+                with pytest.raises(DeadlineExceeded):
+                    client.request("ping", deadline_s=0.3)
+                proxy.set_faults(NetFaultSpec())
+                # healed: a fresh connection flows again
+                with ServiceClient(proxy.host, proxy.port,
+                                   timeout_s=10.0) as c2:
+                    assert c2.ping()["pong"] is True
+
+    def test_latency_injection_slows_the_round_trip(self):
+        import time
+        with ServiceThread(_inline_service()) as st:
+            proxy, client = _proxy_client(
+                st, faults=NetFaultSpec(latency_ms=80.0))
+            with proxy, client:
+                t0 = time.perf_counter()
+                client.ping()
+                dt = time.perf_counter() - t0
+            assert dt >= 0.08                     # at least one delay
+
+    def test_dead_upstream_is_an_immediate_transport_failure(self):
+        with ServiceThread(_inline_service()) as st:
+            dead_port = st.port
+        # service stopped: the port refuses.  The proxy answers with an
+        # abortive close, which may surface as early as the client's
+        # connect — so the whole dial+request goes inside the raises
+        proxy = ChaosProxy("127.0.0.1", dead_port)
+        with proxy:
+            client = ServiceClient(proxy.host, proxy.port, timeout_s=5.0)
+            try:
+                with pytest.raises((OSError, ProtocolError)):
+                    client.ping()
+            finally:
+                client.close()
+        assert proxy.snapshot()["upstream_refused"] == 1
