@@ -13,7 +13,11 @@ Examples::
     python -m repro matrix --scale 0.05 --resume --checkpoint sweep.jsonl
     python -m repro serve --port 7421 --workers 4
     python -m repro query run BFS --dataset ldbc --scale 0.1
+    python -m repro query dyn_query BFS --dataset ldbc --scale 0.05
+    python -m repro mutate --dataset ldbc --add-edge 3,9 --del-edge 0,1
     python -m repro loadgen --requests 200 --concurrency 16
+    python -m repro loadgen --requests 200 --op dyn_query \\
+        --workloads BFS,CComp --write-mix 0.3
     python -m repro stats --port 7421 --format prom
     python -m repro --log-level info --log-json serve
     python -m repro matrix --scale 0.05 --chaos-rate 0.2 \\
@@ -29,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 
 
@@ -271,6 +276,14 @@ def cmd_query(args) -> int:
         params = {"workload": args.workload, "dataset": args.dataset,
                   "scale": args.scale, "seed": args.seed,
                   "machine": args.machine, "gpu": args.gpu}
+    elif args.op == "dyn_query":
+        if not args.workload:
+            print("error: op 'dyn_query' requires a workload "
+                  "(BFS or CComp)", file=sys.stderr)
+            return 2
+        params = {"workload": args.workload, "dataset": args.dataset,
+                  "scale": args.scale, "seed": args.seed,
+                  "root": getattr(args, "root", 0)}
     try:
         with ServiceClient(args.host, args.port,
                            timeout_s=args.timeout) as client:
@@ -288,6 +301,78 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _parse_mutate_flags(args) -> list[dict]:
+    """Turn the repeatable ``mutate`` flags + optional --ops file into
+    wire op dicts (validation happens server-side)."""
+    ops: list[dict] = []
+    for vid in args.add_vertex:
+        ops.append({"op": "add_vertex", "vid": int(vid)})
+    for vid in args.del_vertex:
+        ops.append({"op": "del_vertex", "vid": int(vid)})
+    for kind, pairs in (("add_edge", args.add_edge),
+                        ("del_edge", args.del_edge)):
+        for pair in pairs:
+            src, dst = pair.split(",", 1)
+            ops.append({"op": kind, "src": int(src), "dst": int(dst)})
+    for triple in args.set_prop:
+        vid, name, value = triple.split(",", 2)
+        ops.append({"op": "set_prop", "vid": int(vid),
+                    "name": name, "value": value})
+    if args.ops:
+        raw = (sys.stdin.read() if args.ops == "-"
+               else pathlib.Path(args.ops).read_text())
+        extra = json.loads(raw)
+        if not isinstance(extra, list):
+            raise ValueError("--ops file must hold a JSON list of ops")
+        ops.extend(extra)
+    return ops
+
+
+def cmd_mutate(args) -> int:
+    from .core.errors import ServiceError
+    from .service import ServiceClient
+
+    try:
+        ops = _parse_mutate_flags(args)
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"error: bad mutation spec: {e}", file=sys.stderr)
+        return 2
+    if not ops:
+        print("error: no ops given (use --add-edge/--del-edge/"
+              "--add-vertex/--del-vertex/--set-prop or --ops FILE)",
+              file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(args.host, args.port,
+                           timeout_s=args.timeout) as client:
+            result = client.mutate(args.dataset, ops, scale=args.scale,
+                                   seed=args.seed, strict=args.strict)
+    except ConnectionRefusedError:
+        print(f"error: no service at {args.host}:{args.port} "
+              "(start one with `python -m repro serve`)", file=sys.stderr)
+        return 2
+    except ServiceError as e:
+        print(json.dumps({"kind": getattr(e, "kind", "service"),
+                          "message": getattr(e, "message", str(e))}),
+              file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+def _write_factory(args):
+    """Build the loadgen mutation factory from --write-mix knobs
+    (writes churn the first listed dataset's mutable graph)."""
+    if getattr(args, "write_mix", 0.0) <= 0:
+        return None
+    from .datagen.registry import scaled_vertices
+    from .service.loadgen import churn_write_factory
+    dataset = args.datasets.split(",")[0]
+    return churn_write_factory(
+        dataset, scaled_vertices(dataset, args.scale),
+        scale=args.scale, seed=0, batch=args.write_batch)
+
+
 def cmd_loadgen(args) -> int:
     from .obs import SpanTracer
     from .service import LoadGenerator, ServiceThread, schedule, workload_mix
@@ -298,7 +383,9 @@ def cmd_loadgen(args) -> int:
                        scale=args.scale, seeds=args.seeds, op=args.op)
     skew = getattr(args, "dataset_skew", 0.0)
     plan = schedule(mix, args.requests, seed=args.seed,
-                    dataset_skew=skew)
+                    dataset_skew=skew,
+                    write_mix=getattr(args, "write_mix", 0.0),
+                    write_factory=_write_factory(args))
     tracer = SpanTracer() if args.trace_out else None
     gen_args = dict(concurrency=args.concurrency, timeout_s=args.timeout,
                     deadline_s=getattr(args, "deadline", None),
@@ -524,7 +611,9 @@ def cmd_cluster_loadgen(args) -> int:
     mix = workload_mix(tuple(args.workloads.split(",")), datasets,
                        scale=args.scale, seeds=args.seeds, op=args.op)
     plan = schedule(mix, args.requests, seed=args.seed,
-                    dataset_skew=args.dataset_skew)
+                    dataset_skew=args.dataset_skew,
+                    write_mix=getattr(args, "write_mix", 0.0),
+                    write_factory=_write_factory(args))
     ring = spec.ring()
     imb_ds = plan_imbalance(plan, lambda d: d)
     imb_shard = plan_imbalance(plan, ring.owner)
@@ -740,18 +829,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help="send one request to a running service, "
                             "print the JSON result")
     q.add_argument("op", choices=("ping", "run", "characterize",
-                                  "datasets", "workloads", "stats"))
+                                  "dyn_query", "datasets", "workloads",
+                                  "stats"))
     q.add_argument("workload", nargs="?", default=None,
-                   help="workload name (run/characterize only)")
+                   help="workload name (run/characterize/dyn_query only)")
     q.add_argument("--dataset", default="ldbc")
     q.add_argument("--scale", type=float, default=0.25)
     q.add_argument("--seed", type=int, default=0)
     q.add_argument("--machine", default="scaled",
                    choices=("scaled", "test", "paper"))
     q.add_argument("--gpu", action="store_true")
+    q.add_argument("--root", type=int, default=0,
+                   help="BFS root vertex (dyn_query only)")
     q.add_argument("--host", default="127.0.0.1")
     q.add_argument("--port", type=int, default=7421)
     q.add_argument("--timeout", type=float, default=300.0)
+
+    mu = sub.add_parser(
+        "mutate",
+        help="apply a mutation batch to a service's mutable graph: "
+             "add/del vertices and edges, set vertex properties")
+    mu.add_argument("--dataset", default="ldbc",
+                    help="registry dataset whose mutable copy to edit")
+    mu.add_argument("--scale", type=float, default=0.05)
+    mu.add_argument("--seed", type=int, default=0)
+    mu.add_argument("--add-vertex", action="append", default=[],
+                    metavar="VID", help="add vertex VID (repeatable)")
+    mu.add_argument("--del-vertex", action="append", default=[],
+                    metavar="VID", help="remove vertex VID (repeatable)")
+    mu.add_argument("--add-edge", action="append", default=[],
+                    metavar="SRC,DST", help="add edge (repeatable)")
+    mu.add_argument("--del-edge", action="append", default=[],
+                    metavar="SRC,DST", help="remove edge (repeatable)")
+    mu.add_argument("--set-prop", action="append", default=[],
+                    metavar="VID,NAME,VALUE",
+                    help="set vertex property (repeatable)")
+    mu.add_argument("--ops", default=None, metavar="FILE",
+                    help="JSON file with a list of op objects "
+                         "('-' reads stdin); applied after the flag ops")
+    mu.add_argument("--strict", action="store_true",
+                    help="reject the whole batch if any op is a no-op "
+                         "(default: skip and report)")
+    mu.add_argument("--host", default="127.0.0.1")
+    mu.add_argument("--port", type=int, default=7421)
+    mu.add_argument("--timeout", type=float, default=300.0)
 
     lg = sub.add_parser(
         "loadgen",
@@ -777,7 +898,13 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--seed", type=int, default=0,
                     help="schedule RNG seed (default: 0)")
     lg.add_argument("--op", default="run",
-                    choices=("run", "characterize"))
+                    choices=("run", "characterize", "dyn_query"))
+    lg.add_argument("--write-mix", type=float, default=0.0,
+                    help="fraction of requests that are mutation "
+                         "batches against the first-listed dataset "
+                         "(default: 0 — read-only)")
+    lg.add_argument("--write-batch", type=int, default=8,
+                    help="ops per mutation batch (default: 8)")
     lg.add_argument("--dataset-skew", type=float, default=0.0,
                     help="Zipf exponent over the dataset mix (0 = "
                          "uniform); skews request volume toward the "
@@ -876,6 +1003,7 @@ def build_parser() -> argparse.ArgumentParser:
     cq = clsub.add_parser(
         "query", help="send one request to a running cluster router")
     cq.add_argument("op", choices=("ping", "run", "characterize",
+                                   "dyn_query",
                                    "datasets", "workloads", "stats",
                                    "health", "shard_info"))
     cq.add_argument("workload", nargs="?", default=None,
@@ -886,6 +1014,8 @@ def build_parser() -> argparse.ArgumentParser:
     cq.add_argument("--machine", default="scaled",
                     choices=("scaled", "test", "paper"))
     cq.add_argument("--gpu", action="store_true")
+    cq.add_argument("--root", type=int, default=0,
+                    help="BFS root vertex (dyn_query only)")
     cq.add_argument("--host", default="127.0.0.1")
     cq.add_argument("--port", type=int, default=ROUTER_PORT)
     cq.add_argument("--timeout", type=float, default=300.0)
@@ -908,7 +1038,12 @@ def build_parser() -> argparse.ArgumentParser:
     clg.add_argument("--seeds", type=int, default=1)
     clg.add_argument("--seed", type=int, default=0)
     clg.add_argument("--op", default="run",
-                     choices=("run", "characterize"))
+                     choices=("run", "characterize", "dyn_query"))
+    clg.add_argument("--write-mix", type=float, default=0.0,
+                     help="fraction of requests that are mutation "
+                          "batches against the first-listed dataset")
+    clg.add_argument("--write-batch", type=int, default=8,
+                     help="ops per mutation batch (default: 8)")
     clg.add_argument("--dataset-skew", type=float, default=0.0,
                      help="Zipf exponent over the dataset mix "
                           "(0 = uniform)")
@@ -944,7 +1079,8 @@ def main(argv: list[str] | None = None) -> int:
     handler = {"list": cmd_list, "datasets": cmd_datasets, "run": cmd_run,
                "characterize": cmd_characterize, "gpu": cmd_gpu,
                "matrix": cmd_matrix, "serve": cmd_serve,
-               "query": cmd_query, "loadgen": cmd_loadgen,
+               "query": cmd_query, "mutate": cmd_mutate,
+               "loadgen": cmd_loadgen,
                "stats": cmd_stats, "cluster": cmd_cluster}
     try:
         return handler[args.command](args)

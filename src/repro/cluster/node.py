@@ -27,7 +27,7 @@ from typing import Any
 
 from .. import __version__
 from ..core.errors import WrongShard
-from ..service.protocol import PROTOCOL_VERSION, Request
+from ..service.protocol import DYNAMIC_OPS, PROTOCOL_VERSION, Request
 from ..service.server import GraphService
 
 
@@ -61,7 +61,7 @@ class ShardService(GraphService):
         if req.op == "shard_info":
             self.op_counts[req.op] = self.op_counts.get(req.op, 0) + 1
             return self.shard_info()
-        if req.op in ("run", "characterize"):
+        if req.op in ("run", "characterize") or req.op in DYNAMIC_OPS:
             dataset = req.params.get("dataset", "ldbc")
             if (isinstance(dataset, str) and dataset in self._known
                     and not self.owns(dataset)):

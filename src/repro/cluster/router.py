@@ -89,6 +89,7 @@ from ..service.cache import LRUCache
 from ..service.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    WRITE_OPS,
     Request,
     decode_frame,
     encode_error,
@@ -710,6 +711,90 @@ class Router:
                 return shard
         return None
 
+    # -- write routing ---------------------------------------------------------
+
+    async def _route_write(self, req: Request, key: str,
+                           replicas: Sequence[str],
+                           span_args: dict) -> Any:
+        """Route a mutation: primary-required, then best-effort replica
+        fan-out.
+
+        Writes never fail over and never hedge — a mutation applied on a
+        replica while the primary missed it would fork the version
+        history, and the next read could see versions go *backwards*
+        after a failover.  The ring's first owner is the single write
+        point; if it is breaker-blocked, unreachable, or the deadline is
+        spent, the write fails with the typed error (the client retries
+        against an unchanged version history — every mutation is
+        observable via the version it returns).
+
+        Under ``replication > 1`` the committed write is then applied to
+        the surviving replicas best-effort, and the response discloses
+        the per-shard outcome (``replicated`` / ``replica_failures``) —
+        a lagging replica serves *older* versions, never wrong ones,
+        and the disclosure is what the staleness bound is measured from.
+        """
+        primary = replicas[0]
+        span_args["replicas"] = list(replicas)
+        span_args["primary"] = primary
+        if self.retry_budget is not None:
+            self.retry_budget.on_request()
+        remaining = self._remaining(req)
+        if remaining is not None and remaining <= 0:
+            self._shed(key, span_args, -remaining)
+        breaker = self.breakers.get(primary)
+        if breaker is not None and not breaker.allow():
+            self._m_route.labels(shard=primary, outcome="skipped").inc()
+            span_args["outcome"] = "circuit-open"
+            raise CircuitOpen(key, (primary,))
+        timeout = self._attempt_timeout(remaining, 1)
+        try:
+            frame = await self._call(primary, req.op, req.params,
+                                     timeout, deadline=req.deadline)
+        except _TRANSPORT_ERRORS as e:
+            self._note_transport_failure(primary, key, e)
+            span_args["outcome"] = "unavailable"
+            raise ShardUnavailable(key, tried=(primary,)) from e
+        result = self._finish_frame(req, key, primary, frame, "ok",
+                                    span_args)
+        if self.replication > 1 and isinstance(result, dict):
+            replicated, failures = await self._replicate_write(
+                req, key, [s for s in replicas if s != primary])
+            result["replicated"] = replicated
+            result["replica_failures"] = failures
+            span_args["replicated"] = len(replicated)
+        return result
+
+    async def _replicate_write(self, req: Request, key: str,
+                               backups: Sequence[str]
+                               ) -> tuple[list[str], list[str]]:
+        """Apply a primary-committed write to the backup replicas
+        concurrently; per-shard outcomes, never an exception."""
+
+        async def one(shard: str) -> tuple[str, bool]:
+            breaker = self.breakers.get(shard)
+            if breaker is not None and not breaker.allow():
+                self._m_route.labels(shard=shard,
+                                     outcome="skipped").inc()
+                return shard, False
+            try:
+                frame = await self._call(shard, req.op, req.params,
+                                         self.fanout_timeout_s,
+                                         deadline=req.deadline)
+            except _TRANSPORT_ERRORS as e:
+                self._note_transport_failure(shard, key, e)
+                return shard, False
+            self._note_success(shard)
+            ok = bool(frame.get("ok"))
+            self._m_route.labels(
+                shard=shard, outcome="ok" if ok else "error").inc()
+            return shard, ok
+
+        outcomes = await asyncio.gather(*(one(s) for s in backups))
+        replicated = sorted(s for s, ok in outcomes if ok)
+        failures = sorted(s for s, ok in outcomes if not ok)
+        return replicated, failures
+
     # -- degraded serving ------------------------------------------------------
 
     @staticmethod
@@ -826,10 +911,19 @@ class Router:
             return {"ok": bool(healthy), "role": "router",
                     "shards": {name: name in healthy
                                for name in sorted(self.shards)}}
-        if req.op in ("run", "characterize"):
+        if req.op in ("run", "characterize", "dyn_query"):
+            # dyn_query rides the keyed read path (failover + degraded
+            # serving) but is excluded from hedging: a hedged read could
+            # land on a replica whose mutation stream lags, and the
+            # first-answer-wins race would hide which version answered
             key = self._routing_key(req.params)
             replicas = self.ring.owners(key, self.replication)
             return await self._route_keyed(req, key, replicas,
+                                           span_args)
+        if req.op in WRITE_OPS:
+            key = self._routing_key(req.params)
+            replicas = self.ring.owners(key, self.replication)
+            return await self._route_write(req, key, replicas,
                                            span_args)
         if req.op == "workloads":
             # identical on every shard: any healthy one will do, with

@@ -304,6 +304,47 @@ class RetryBudgetExhausted(ServiceError):
         self.tried = tuple(tried)
 
 
+class MutationError(ServiceError, ValueError):
+    """A graph mutation cannot apply in strict mode (adding a vertex
+    that already exists, deleting an edge that is not there, touching a
+    vertex that was never created).
+
+    Lenient commits skip such no-op operations and report them in the
+    ``skipped`` count instead; strict commits surface the first
+    violation as this error so the writer learns its model of the graph
+    has drifted.
+    """
+
+    kind = "mutation"
+
+    def __init__(self, op: str, detail: str):
+        super().__init__(f"mutation {op} cannot apply: {detail}")
+        self.op = op
+        self.detail = detail
+
+
+class SnapshotExpired(ServiceError):
+    """A pinned or requested snapshot version fell outside the store's
+    retention window — compaction already folded its deltas into the
+    base, so the exact state at that version is no longer
+    reconstructable.
+
+    Readers recover by re-pinning the current head; incremental kernels
+    recover by a full recompute (their synced version predates the
+    window, so the delta chain they need is gone).
+    """
+
+    kind = "snapshot-expired"
+
+    def __init__(self, version: int, floor: int, head: int):
+        super().__init__(
+            f"snapshot version {version} is outside the retention "
+            f"window [{floor}, {head}]")
+        self.version = version
+        self.floor = floor
+        self.head = head
+
+
 class RemoteError(ServiceError):
     """Client-side image of a failure the server shipped over the wire.
 

@@ -339,6 +339,53 @@ class PropertyGraph:
                 self._eset(node, name, value)
         return node
 
+    def add_edges(self, edges: Iterable[tuple[int, int]], *,
+                  skip_duplicates: bool = True, **props: Any) -> int:
+        """Bulk *add-edge*: insert every ``(src, dst)`` pair in ``edges``.
+
+        Accepts any iterable of pairs — including an ``(m, 2)`` numpy
+        array — and coerces endpoints to int, so callers can feed a
+        generated edge block straight in without a per-edge unpacking
+        loop.  Each insertion runs through :meth:`add_edge` (both arcs on
+        an undirected graph, full trace emission when a tracer is
+        attached).  With ``skip_duplicates`` an already-present edge is
+        counted out instead of raising — the streaming-ingest idiom where
+        the feed replays edges it already delivered.  Returns the number
+        of edges actually inserted.
+        """
+        added = 0
+        for row in edges:
+            src, dst = int(row[0]), int(row[1])
+            try:
+                self.add_edge(src, dst, **props)
+            except DuplicateEdge:
+                if not skip_duplicates:
+                    raise
+                continue
+            added += 1
+        return added
+
+    def del_edges(self, edges: Iterable[tuple[int, int]], *,
+                  missing_ok: bool = True) -> int:
+        """Bulk *delete-edge*: remove every ``(src, dst)`` pair in
+        ``edges`` (the counterpart of :meth:`add_edges`).
+
+        With ``missing_ok`` an absent edge is counted out instead of
+        raising — the natural mode for replayed deletion feeds.  Returns
+        the number of edges actually removed.
+        """
+        removed = 0
+        for row in edges:
+            src, dst = int(row[0]), int(row[1])
+            try:
+                self.delete_edge(src, dst)
+            except (EdgeNotFound, VertexNotFound):
+                if not missing_ok:
+                    raise
+                continue
+            removed += 1
+        return removed
+
     def has_edge(self, src: int, dst: int) -> bool:
         """Existence test via *find-edge* (walks the adjacency list)."""
         try:
@@ -712,12 +759,7 @@ class PropertyGraph:
                 tracer=tracer, heap=heap)
         for vid in range(n_vertices):
             g.add_vertex(vid)
-        for s, d in edges:
-            try:
-                g.add_edge(int(s), int(d))
-            except DuplicateEdge:
-                if not skip_duplicates:
-                    raise
+        g.add_edges(edges, skip_duplicates=skip_duplicates)
         return g
 
     def copy_topology(self) -> "PropertyGraph":

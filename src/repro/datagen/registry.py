@@ -55,15 +55,22 @@ GENERATORS: dict[str, Callable[..., GraphSpec]] = {
 }
 
 
-def make(name: str, scale: float = 1.0, seed: int = 0, **kwargs) -> GraphSpec:
-    """Generate registry dataset ``name`` at ``scale`` x default size."""
+def scaled_vertices(name: str, scale: float = 1.0) -> int:
+    """The vertex count :func:`make` will generate for ``name`` at
+    ``scale`` — without generating anything (the mutation write
+    factories need the id range up front)."""
     try:
         entry = REGISTRY[name]
     except KeyError:
         raise KeyError(f"unknown dataset {name!r}; "
                        f"choose from {sorted(REGISTRY)}") from None
-    n = max(120, int(entry.default_vertices * scale))
-    return entry.factory(n, seed=seed, **kwargs)
+    return max(120, int(entry.default_vertices * scale))
+
+
+def make(name: str, scale: float = 1.0, seed: int = 0, **kwargs) -> GraphSpec:
+    """Generate registry dataset ``name`` at ``scale`` x default size."""
+    n = scaled_vertices(name, scale)
+    return REGISTRY[name].factory(n, seed=seed, **kwargs)
 
 
 def experiment_datasets(scale: float = 1.0, seed: int = 0

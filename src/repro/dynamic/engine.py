@@ -1,0 +1,197 @@
+"""Dynamic-graph engine: the serving facade over snapshot stores and
+incremental kernels.
+
+One engine lives inside each :class:`~repro.service.server.GraphService`
+and owns every mutable graph the node serves.  A dynamic graph's
+identity is ``(dataset, scale, seed)`` — the same identity the static
+cell path uses — and its *base* (version 0) is the deterministic
+generated dataset, so every replica that applies the same mutation
+stream holds byte-identical state at every version.
+
+Queries are answered from maintained incremental kernels behind a
+**versioned cache**: an entry carries the snapshot version it was
+computed at and hits only while the store head still is that version —
+one commit anywhere invalidates exactly the affected graph's entries
+(a version-mismatch read, not a flush).  Every response carries its
+``version``, so a stale copy served by an upstream degraded path is
+disclosed, never silent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from ..core.errors import BadRequest
+from ..service.cache import LRUCache
+from .incremental import IncrementalBFS, IncrementalCComp
+from .ops import MutOp, parse_ops, single_op
+from .store import DEFAULT_MAX_VERSIONS, SnapshotStore
+
+#: Parameters a dynamic request may carry (same typo protection as the
+#: static cell path).
+_MUTATE_PARAMS = frozenset({"dataset", "scale", "seed", "ops", "strict",
+                            "vid", "src", "dst", "name", "value"})
+_QUERY_PARAMS = frozenset({"workload", "dataset", "scale", "seed",
+                           "root"})
+
+#: The workloads with incremental implementations.
+DYN_WORKLOADS = ("BFS", "CComp")
+
+
+def dynamic_key(dataset: str, scale: float, seed: int) -> tuple:
+    """Identity of one mutable graph (mirrors ``cache.dataset_key``)."""
+    return ("dynamic", dataset, float(scale), int(seed))
+
+
+class DynamicEngine:
+    """Per-node registry of mutable graphs + their hot query results."""
+
+    def __init__(self, *, max_versions: int = DEFAULT_MAX_VERSIONS,
+                 recompute_fraction: float = 0.25,
+                 cache_capacity: int = 256,
+                 clock: Callable[[], float] = time.monotonic):
+        self.max_versions = max_versions
+        self.recompute_fraction = recompute_fraction
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._stores: dict[tuple, SnapshotStore] = {}
+        # one lock per store serializes kernel refreshes without
+        # stalling unrelated graphs
+        self._store_locks: dict[tuple, threading.Lock] = {}
+        self._kernels: dict[tuple, Any] = {}
+        self.cache = LRUCache(cache_capacity)
+        self.mutations = 0
+        self.queries = 0
+
+    # -- identities ----------------------------------------------------------
+
+    @staticmethod
+    def _identity(params: dict[str, Any]) -> tuple[str, float, int]:
+        from ..datagen.registry import REGISTRY
+        dataset = params.get("dataset", "ldbc")
+        if not isinstance(dataset, str) or dataset not in REGISTRY:
+            raise BadRequest(f"unknown dataset {dataset!r}; choose from "
+                             f"{', '.join(sorted(REGISTRY))}")
+        try:
+            scale = float(params.get("scale", 0.05))
+            seed = int(params.get("seed", 0))
+        except (TypeError, ValueError) as e:
+            raise BadRequest(f"bad parameter value: {e}") from None
+        if not scale > 0:
+            raise BadRequest(f"scale must be > 0, got {scale!r}")
+        return dataset, scale, seed
+
+    def _store_for(self, dataset: str, scale: float, seed: int
+                   ) -> tuple[tuple, SnapshotStore, threading.Lock]:
+        key = dynamic_key(dataset, scale, seed)
+        with self._lock:
+            store = self._stores.get(key)
+            lock = self._store_locks.setdefault(key, threading.Lock())
+        if store is not None:
+            return key, store, lock
+        # generate the base outside the engine lock (dataset generation
+        # is the expensive step); first committer wins
+        from ..datagen.registry import make
+        spec = make(dataset, scale=scale, seed=seed)
+        built = SnapshotStore.from_spec(
+            spec, max_versions=self.max_versions)
+        with self._lock:
+            store = self._stores.setdefault(key, built)
+        return key, store, lock
+
+    # -- writes --------------------------------------------------------------
+
+    def mutate(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Apply a batched ``mutate`` request; returns the new version."""
+        unknown = sorted(set(params) - _MUTATE_PARAMS)
+        if unknown:
+            raise BadRequest(
+                f"unknown parameter(s) {', '.join(unknown)}; choose "
+                f"from {', '.join(sorted(_MUTATE_PARAMS))}")
+        ops = parse_ops(params.get("ops"))
+        return self._commit(params, ops)
+
+    def mutate_one(self, kind: str,
+                   params: dict[str, Any]) -> dict[str, Any]:
+        """Apply a flat single-op write request (``add_edge`` & co)."""
+        return self._commit(params, [single_op(kind, params)])
+
+    def _commit(self, params: dict[str, Any],
+                ops: list[MutOp]) -> dict[str, Any]:
+        dataset, scale, seed = self._identity(params)
+        _, store, _ = self._store_for(dataset, scale, seed)
+        strict = bool(params.get("strict", False))
+        version, delta, skipped = store.commit(ops, strict=strict)
+        self.mutations += 1
+        return {"dataset": dataset, "scale": scale, "seed": seed,
+                "version": version, "served": "mutate",
+                "applied": len(ops) - skipped, "skipped": skipped,
+                "delta": {"added_vertices": len(delta.added_vertices),
+                          "removed_vertices":
+                              len(delta.removed_vertices),
+                          "added_arcs": len(delta.added_arcs),
+                          "removed_arcs": len(delta.removed_arcs),
+                          "props": len(delta.props)},
+                "n_vertices": store.n_vertices,
+                "n_arcs": store.n_arcs}
+
+    # -- reads ---------------------------------------------------------------
+
+    def query(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Answer a ``dyn_query`` from the maintained kernel, behind the
+        versioned cache."""
+        unknown = sorted(set(params) - _QUERY_PARAMS)
+        if unknown:
+            raise BadRequest(
+                f"unknown parameter(s) {', '.join(unknown)}; choose "
+                f"from {', '.join(sorted(_QUERY_PARAMS))}")
+        workload = params.get("workload")
+        if workload not in DYN_WORKLOADS:
+            raise BadRequest(
+                f"dynamic workload must be one of "
+                f"{', '.join(DYN_WORKLOADS)}, got {workload!r}")
+        try:
+            root = int(params.get("root", 0))
+        except (TypeError, ValueError) as e:
+            raise BadRequest(f"bad root: {e}") from None
+        dataset, scale, seed = self._identity(params)
+        key, store, lock = self._store_for(dataset, scale, seed)
+        self.queries += 1
+        kernel_key = key + (workload, root)
+        with lock:
+            head = store.head
+            cached = self.cache.get(kernel_key, version=head)
+            if cached is not None:
+                return dict(cached, served="cache")
+            kernel = self._kernels.get(kernel_key)
+            if kernel is None:
+                if workload == "BFS":
+                    kernel = IncrementalBFS(
+                        store, root,
+                        recompute_fraction=self.recompute_fraction)
+                else:
+                    kernel = IncrementalCComp(
+                        store,
+                        recompute_fraction=self.recompute_fraction)
+                self._kernels[kernel_key] = kernel
+            served = kernel.refresh()
+            response = {"workload": workload, "dataset": dataset,
+                        "scale": scale, "seed": seed,
+                        "version": kernel.version,
+                        "outputs": kernel.outputs(),
+                        "kernel": kernel.stats.as_dict()}
+            self.cache.put(kernel_key, response,
+                           version=kernel.version)
+            return dict(response, served=served)
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            stores = {"/".join(str(p) for p in key[1:]): store.info()
+                      for key, store in self._stores.items()}
+        return {"mutations": self.mutations, "queries": self.queries,
+                "graphs": len(stores), "stores": stores,
+                "cache": self.cache.stats.as_dict()}

@@ -1,0 +1,159 @@
+"""Mutation operations: the typed write vocabulary of a dynamic graph.
+
+One :class:`MutOp` is one logical change — add/delete a vertex, add/
+delete an edge, or set a vertex property.  A batch of them is what a
+``mutate`` wire request carries and what a
+:class:`~repro.dynamic.store.SnapshotStore` commit applies atomically
+(one commit = one new snapshot version, never a half-applied batch).
+
+Ops travel the wire as flat JSON dicts (``{"op": "add_edge", "src": 3,
+"dst": 7}``) — the same self-describing record discipline every other
+frame uses — and :func:`parse_ops` is the single validation point both
+the service and the store trust.  :func:`churn_ops` generates the
+deterministic random edge-churn batches the load generator and the
+mutation benchmark drive traffic with.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..core.errors import BadRequest
+
+#: The write vocabulary.  ``set_prop`` targets vertex properties (edge
+#: properties stay static in this layer — none of the incremental
+#: kernels read them).
+OP_KINDS = ("add_vertex", "del_vertex", "add_edge", "del_edge",
+            "set_prop")
+
+#: Hard cap on one batch — a mutate frame is a delta, not a bulk load
+#: (bulk loads belong in dataset generation, where they are versioned as
+#: the base).
+MAX_BATCH_OPS = 10_000
+
+
+@dataclass(frozen=True)
+class MutOp:
+    """One validated mutation operation."""
+
+    kind: str                       # one of OP_KINDS
+    src: int = -1                   # vertex id (vertex/prop ops) or arc src
+    dst: int = -1                   # arc dst (edge ops only)
+    name: str = ""                  # property name (set_prop only)
+    value: Any = None               # property value (set_prop only)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"op": self.kind}
+        if self.kind in ("add_vertex", "del_vertex", "set_prop"):
+            out["vid"] = self.src
+        else:
+            out["src"] = self.src
+            out["dst"] = self.dst
+        if self.kind == "set_prop":
+            out["name"] = self.name
+            out["value"] = self.value
+        return out
+
+
+def _as_vid(raw: Any, field: str) -> int:
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise BadRequest(f"mutation field {field!r} must be an integer "
+                         f"vertex id, got {raw!r}")
+    if raw < 0:
+        raise BadRequest(f"mutation field {field!r} must be >= 0, "
+                         f"got {raw}")
+    return raw
+
+
+def parse_op(raw: Any) -> MutOp:
+    """Validate one wire-shaped op dict into a :class:`MutOp`."""
+    if not isinstance(raw, dict):
+        raise BadRequest(f"mutation op must be an object, got "
+                         f"{type(raw).__name__}")
+    kind = raw.get("op")
+    if kind not in OP_KINDS:
+        raise BadRequest(f"unknown mutation op {kind!r}; choose from "
+                         f"{', '.join(OP_KINDS)}")
+    if kind in ("add_vertex", "del_vertex"):
+        return MutOp(kind, src=_as_vid(raw.get("vid"), "vid"))
+    if kind in ("add_edge", "del_edge"):
+        return MutOp(kind, src=_as_vid(raw.get("src"), "src"),
+                     dst=_as_vid(raw.get("dst"), "dst"))
+    name = raw.get("name")
+    if not isinstance(name, str) or not name:
+        raise BadRequest("set_prop requires a non-empty 'name' string")
+    value = raw.get("value")
+    if isinstance(value, (dict, list)):
+        raise BadRequest("set_prop value must be a scalar")
+    return MutOp(kind, src=_as_vid(raw.get("vid"), "vid"),
+                 name=name, value=value)
+
+
+def parse_ops(raw: Any) -> list[MutOp]:
+    """Validate a wire batch (the ``ops`` param of a ``mutate``
+    request)."""
+    if not isinstance(raw, (list, tuple)):
+        raise BadRequest(f"'ops' must be a list of mutation objects, "
+                         f"got {type(raw).__name__}")
+    if not raw:
+        raise BadRequest("'ops' is empty — a mutate request must carry "
+                         "at least one operation")
+    if len(raw) > MAX_BATCH_OPS:
+        raise BadRequest(f"batch of {len(raw)} ops exceeds "
+                         f"{MAX_BATCH_OPS}")
+    return [parse_op(item) for item in raw]
+
+
+def single_op(kind: str, params: dict[str, Any]) -> MutOp:
+    """Build the one-op batch behind the flat wire ops (``add_edge`` as
+    its own request, etc.) from request params."""
+    raw = {"op": kind}
+    for field in ("vid", "src", "dst", "name", "value"):
+        if field in params:
+            raw[field] = params[field]
+    return parse_op(raw)
+
+
+def churn_ops(rng: random.Random, n_vertices: int, size: int, *,
+              recent: "Sequence[tuple[int, int]] | None" = None
+              ) -> list[dict[str, Any]]:
+    """One deterministic edge-churn batch, wire-shaped.
+
+    Roughly 70% edge inserts between random resident vertices, 20%
+    deletes (drawn from ``recent`` inserts when the caller tracks them,
+    else random pairs that mostly no-op), 10% property writes.  Vertex
+    id 0 is never deleted so a BFS rooted there stays meaningful across
+    any schedule.
+    """
+    if n_vertices < 2:
+        raise ValueError("churn needs at least 2 vertices")
+    ops: list[dict[str, Any]] = []
+    for _ in range(size):
+        roll = rng.random()
+        if roll < 0.70:
+            src = rng.randrange(n_vertices)
+            dst = rng.randrange(n_vertices)
+            if src == dst:
+                dst = (dst + 1) % n_vertices
+            ops.append({"op": "add_edge", "src": src, "dst": dst})
+        elif roll < 0.90:
+            if recent:
+                src, dst = recent[rng.randrange(len(recent))]
+            else:
+                src = rng.randrange(n_vertices)
+                dst = rng.randrange(n_vertices)
+                if src == dst:
+                    dst = (dst + 1) % n_vertices
+            ops.append({"op": "del_edge", "src": src, "dst": dst})
+        else:
+            ops.append({"op": "set_prop",
+                        "vid": rng.randrange(n_vertices),
+                        "name": "state", "value": rng.randrange(4)})
+    return ops
+
+
+def ops_as_wire(ops: Iterable[MutOp]) -> list[dict[str, Any]]:
+    """Flatten parsed ops back to their wire shape."""
+    return [op.as_dict() for op in ops]

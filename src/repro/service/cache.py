@@ -34,6 +34,7 @@ class CacheStats:
     evictions: int = 0          # capacity pressure
     expirations: int = 0        # TTL lapses
     stale_serves: int = 0       # degraded reads of expired entries
+    invalidations: int = 0      # version-mismatch misses (stale snapshot)
 
     @property
     def hit_rate(self) -> float:
@@ -45,6 +46,7 @@ class CacheStats:
                 "inserts": self.inserts, "evictions": self.evictions,
                 "expirations": self.expirations,
                 "stale_serves": self.stale_serves,
+                "invalidations": self.invalidations,
                 "hit_rate": round(self.hit_rate, 6)}
 
 
@@ -52,14 +54,16 @@ class _Entry:
     """One cache slot: the value plus the timing the TTL and the
     serve-stale-on-error path both read."""
 
-    __slots__ = ("value", "deadline", "inserted_at", "expiry_counted")
+    __slots__ = ("value", "deadline", "inserted_at", "expiry_counted",
+                 "version")
 
     def __init__(self, value: Any, deadline: float | None,
-                 inserted_at: float):
+                 inserted_at: float, version: int | None = None):
         self.value = value
         self.deadline = deadline            # TTL lapse instant (or None)
         self.inserted_at = inserted_at      # staleness-age anchor
         self.expiry_counted = False         # expiration counted once
+        self.version = version              # snapshot version (or None)
 
 
 class LRUCache:
@@ -104,7 +108,12 @@ class LRUCache:
         return entry.deadline is not None \
             and self._clock() >= entry.deadline
 
-    def get(self, key: Hashable, default: Any = None) -> Any:
+    def get(self, key: Hashable, default: Any = None, *,
+            version: int | None = None) -> Any:
+        """Fresh read.  When ``version`` is given, the entry only hits if
+        it was put at that exact snapshot version — a mismatch is a
+        *versioned invalidation*: counted, treated as a miss, but the
+        entry is retained so :meth:`get_stale` can still disclose it."""
         with self._lock:
             entry = self._data.get(key)
             if entry is None:
@@ -116,6 +125,10 @@ class LRUCache:
                 if not entry.expiry_counted:
                     entry.expiry_counted = True
                     self.stats.expirations += 1
+                self.stats.misses += 1
+                return default
+            if version is not None and entry.version != version:
+                self.stats.invalidations += 1
                 self.stats.misses += 1
                 return default
             # promote: dicts preserve insertion order; re-inserting moves
@@ -147,7 +160,8 @@ class LRUCache:
             self.stats.stale_serves += 1
             return entry.value, age
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def put(self, key: Hashable, value: Any, *,
+            version: int | None = None) -> None:
         if self.capacity == 0:
             return
         now = self._clock()
@@ -155,7 +169,7 @@ class LRUCache:
         with self._lock:
             if key in self._data:
                 del self._data[key]
-            self._data[key] = _Entry(value, deadline, now)
+            self._data[key] = _Entry(value, deadline, now, version)
             self.stats.inserts += 1
             while len(self._data) > self.capacity:
                 lru = next(iter(self._data))

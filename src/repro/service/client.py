@@ -219,3 +219,20 @@ class ServiceClient:
                             workload=workload,
                             dataset=dataset, scale=scale, seed=seed,
                             machine=machine, gpu=gpu)
+
+    def mutate(self, dataset: str, ops: list[dict[str, Any]], *,
+               scale: float = 0.05, seed: int = 0, strict: bool = False,
+               deadline_s: float | None = None) -> dict[str, Any]:
+        """Apply one atomic mutation batch; returns the new version."""
+        return self.request("mutate", deadline_s=deadline_s,
+                            dataset=dataset, scale=scale, seed=seed,
+                            ops=ops, strict=strict)
+
+    def dyn_query(self, workload: str, dataset: str = "ldbc", *,
+                  root: int = 0, scale: float = 0.05, seed: int = 0,
+                  deadline_s: float | None = None) -> dict[str, Any]:
+        """Query the mutable graph; the response carries the snapshot
+        ``version`` it answers at."""
+        return self.request("dyn_query", deadline_s=deadline_s,
+                            workload=workload, dataset=dataset,
+                            root=root, scale=scale, seed=seed)

@@ -32,6 +32,7 @@ from ..core.errors import GraphError
 from ..obs.metrics import percentile
 from ..obs.tracing import SpanTracer, maybe_span
 from .client import ServiceClient
+from .protocol import WRITE_OPS
 
 #: Failure-kind tag for transport-level errors (dropped/refused/reset
 #: connections) — distinct from every server-reported taxonomy kind.
@@ -55,7 +56,16 @@ def workload_mix(workloads: Sequence[str] = ("BFS", "CComp", "kCore"),
     A small pool under many requests is the duplicate-heavy regime the
     cache and micro-batching tiers are built for; raise ``seeds`` to
     widen the pool and thin the duplicates.
+
+    ``op="dyn_query"`` targets the mutable graph instead: those requests
+    carry no ``machine`` (there is no characterization cell behind them)
+    and answer with the snapshot version they read.
     """
+    if op == "dyn_query":
+        return [Query(op=op, params={"workload": w, "dataset": d,
+                                     "scale": scale, "seed": s})
+                for w in workloads for d in datasets
+                for s in range(seeds)]
     return [Query(op=op, params={"workload": w, "dataset": d,
                                  "scale": scale, "seed": s,
                                  "machine": machine})
@@ -63,7 +73,10 @@ def workload_mix(workloads: Sequence[str] = ("BFS", "CComp", "kCore"),
 
 
 def schedule(mix: Sequence[Query], n_requests: int,
-             seed: int = 0, *, dataset_skew: float = 0.0) -> list[Query]:
+             seed: int = 0, *, dataset_skew: float = 0.0,
+             write_mix: float = 0.0,
+             write_factory: "Callable[[random.Random], Query] | None"
+             = None) -> list[Query]:
     """Deterministic request sequence: seeded draws from the mix.
 
     ``dataset_skew <= 0`` draws uniformly (byte-identical to the
@@ -73,25 +86,56 @@ def schedule(mix: Sequence[Query], n_requests: int,
     dataset's queries.  Skewed plans are what make a sharded cluster's
     placement interesting: a hot dataset concentrates load on one
     replica set, the imbalance :func:`plan_imbalance` quantifies.
+
+    ``write_mix`` in (0, 1] interleaves mutation traffic: each slot is a
+    write with that probability, drawn from ``write_factory(rng)`` (see
+    :func:`churn_write_factory`).  At ``write_mix=0`` the RNG draw
+    sequence is untouched, so existing plans stay byte-identical.
     """
     if not mix:
         raise ValueError("query mix is empty")
+    if not 0 <= write_mix <= 1:
+        raise ValueError("write_mix must be in [0, 1]")
+    if write_mix > 0 and write_factory is None:
+        raise ValueError("write_mix > 0 requires a write_factory")
     rng = random.Random(f"loadgen:{seed}")
     if dataset_skew <= 0:
-        return [mix[rng.randrange(len(mix))] for _ in range(n_requests)]
-    groups: dict[str, list[Query]] = {}
-    for q in mix:
-        groups.setdefault(str(q.params.get("dataset", "ldbc")),
-                          []).append(q)
-    names = list(groups)
-    weights = [1.0 / (rank + 1) ** dataset_skew
-               for rank in range(len(names))]
-    plan = []
-    for _ in range(n_requests):
-        dataset = rng.choices(names, weights=weights)[0]
-        pool = groups[dataset]
-        plan.append(pool[rng.randrange(len(pool))])
-    return plan
+        def draw_read() -> Query:
+            return mix[rng.randrange(len(mix))]
+    else:
+        groups: dict[str, list[Query]] = {}
+        for q in mix:
+            groups.setdefault(str(q.params.get("dataset", "ldbc")),
+                              []).append(q)
+        names = list(groups)
+        weights = [1.0 / (rank + 1) ** dataset_skew
+                   for rank in range(len(names))]
+
+        def draw_read() -> Query:
+            dataset = rng.choices(names, weights=weights)[0]
+            pool = groups[dataset]
+            return pool[rng.randrange(len(pool))]
+
+    if write_mix <= 0:
+        return [draw_read() for _ in range(n_requests)]
+    return [write_factory(rng) if rng.random() < write_mix
+            else draw_read() for _ in range(n_requests)]
+
+
+def churn_write_factory(dataset: str, n_vertices: int, *,
+                        scale: float = 0.05, seed: int = 0,
+                        batch: int = 8
+                        ) -> Callable[[random.Random], Query]:
+    """A ``write_factory`` for :func:`schedule`: each write is one
+    ``mutate`` batch of deterministic edge churn against the mutable
+    graph identified by ``(dataset, scale, seed)``."""
+    from ..dynamic.ops import churn_ops
+
+    def factory(rng: random.Random) -> Query:
+        return Query(op="mutate", params={
+            "dataset": dataset, "scale": scale, "seed": seed,
+            "ops": churn_ops(rng, n_vertices, batch)})
+    return factory
 
 
 def plan_imbalance(plan: Sequence[Query],
@@ -129,6 +173,12 @@ class LoadReport:
     served: dict[str, int]               # cache / coalesced / executed
     degraded: int = 0                    # ok responses marked degraded
     max_staleness_s: float = 0.0         # worst disclosed staleness age
+    # read/write split (writes = WRITE_OPS requests; both sorted)
+    read_latencies_ms: list[float] = field(default_factory=list)
+    write_latencies_ms: list[float] = field(default_factory=list)
+    # worst (max committed write version seen) - (read's answered
+    # version) over the run: the measured staleness bound in versions
+    max_version_lag: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -142,9 +192,20 @@ class LoadReport:
     def latency_ms(self, q: float) -> float:
         return percentile(self.latencies_ms, q)
 
+    @staticmethod
+    def _lat_summary(lat: list[float]) -> dict[str, Any]:
+        if not lat:
+            return {"mean": None, "p50": None, "p95": None, "p99": None,
+                    "max": None}
+        return {"mean": round(sum(lat) / len(lat), 3),
+                "p50": round(percentile(lat, 50), 3),
+                "p95": round(percentile(lat, 95), 3),
+                "p99": round(percentile(lat, 99), 3),
+                "max": round(lat[-1], 3)}
+
     def summary(self) -> dict[str, Any]:
         lat = self.latencies_ms
-        return {"requests": self.requests, "ok": self.ok,
+        out = {"requests": self.requests, "ok": self.ok,
                 "failed": self.failed,
                 "degraded": self.degraded,
                 "max_staleness_s": round(self.max_staleness_s, 3),
@@ -152,13 +213,15 @@ class LoadReport:
                 "failures_by_kind": dict(self.failures_by_kind),
                 "elapsed_s": round(self.elapsed_s, 6),
                 "throughput_rps": round(self.throughput_rps, 3),
-                "latency_ms": {
-                    "mean": round(sum(lat) / len(lat), 3) if lat else None,
-                    "p50": round(self.latency_ms(50), 3) if lat else None,
-                    "p95": round(self.latency_ms(95), 3) if lat else None,
-                    "p99": round(self.latency_ms(99), 3) if lat else None,
-                    "max": round(lat[-1], 3) if lat else None},
+                "latency_ms": self._lat_summary(lat),
                 "served": dict(self.served)}
+        if self.write_latencies_ms:
+            out["read_latency_ms"] = self._lat_summary(
+                self.read_latencies_ms)
+            out["write_latency_ms"] = self._lat_summary(
+                self.write_latencies_ms)
+            out["max_version_lag"] = self.max_version_lag
+        return out
 
     def format(self) -> str:
         s = self.summary()
@@ -170,6 +233,14 @@ class LoadReport:
                  f"latency ms   p50={lat['p50']} p95={lat['p95']} "
                  f"p99={lat['p99']} max={lat['max']}",
                  f"served       {s['served']}"]
+        if "write_latency_ms" in s:
+            r, w = s["read_latency_ms"], s["write_latency_ms"]
+            lines.append(f"read ms      p50={r['p50']} p95={r['p95']} "
+                         f"p99={r['p99']} max={r['max']}")
+            lines.append(f"write ms     p50={w['p50']} p95={w['p95']} "
+                         f"p99={w['p99']} max={w['max']}")
+            lines.append(f"version lag  max {s['max_version_lag']} "
+                         f"version(s) behind committed")
         if self.degraded:
             lines.append(f"degraded     {self.degraded} "
                          f"(max staleness {s['max_staleness_s']}s)")
@@ -210,12 +281,18 @@ class LoadGenerator:
         lock = threading.Lock()
         cursor = iter(plan)
         latencies: list[float] = []
+        read_latencies: list[float] = []
+        write_latencies: list[float] = []
         failures: dict[str, int] = {}
         served: dict[str, int] = {}
         ok_count = [0]
         fail_count = [0]
         degraded_count = [0]
         max_staleness = [0.0]
+        # version-lag tracking: the highest version any write committed
+        # vs the version each read's answer discloses
+        max_committed = [0]
+        max_lag = [0]
 
         def record_failure(kind: str) -> None:
             with lock:
@@ -259,10 +336,22 @@ class LoadGenerator:
                         if is_degraded:
                             span_args["degraded"] = True
                     dt_ms = (time.perf_counter() - t0) * 1e3
+                    is_write = query.op in WRITE_OPS
+                    version = (result or {}).get("version")
                     with lock:
                         ok_count[0] += 1
                         latencies.append(dt_ms)
+                        (write_latencies if is_write
+                         else read_latencies).append(dt_ms)
                         served[how] = served.get(how, 0) + 1
+                        if isinstance(version, int):
+                            if is_write:
+                                if version > max_committed[0]:
+                                    max_committed[0] = version
+                            else:
+                                lag = max_committed[0] - version
+                                if lag > max_lag[0]:
+                                    max_lag[0] = lag
                         if is_degraded:
                             degraded_count[0] += 1
                             if staleness > max_staleness[0]:
@@ -280,9 +369,14 @@ class LoadGenerator:
             t.join()
         elapsed = time.perf_counter() - t_start
         latencies.sort()
+        read_latencies.sort()
+        write_latencies.sort()
         return LoadReport(requests=len(plan), ok=ok_count[0],
                           failed=fail_count[0],
                           failures_by_kind=failures, elapsed_s=elapsed,
                           latencies_ms=latencies, served=served,
                           degraded=degraded_count[0],
-                          max_staleness_s=max_staleness[0])
+                          max_staleness_s=max_staleness[0],
+                          read_latencies_ms=read_latencies,
+                          write_latencies_ms=write_latencies,
+                          max_version_lag=max_lag[0])

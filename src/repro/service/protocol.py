@@ -31,10 +31,12 @@ from ..core.errors import (
     CircuitOpen,
     DeadlineExceeded,
     GraphError,
+    MutationError,
     ProtocolError,
     RemoteError,
     RetryBudgetExhausted,
     ShardUnavailable,
+    SnapshotExpired,
     VersionMismatch,
     WrongShard,
 )
@@ -51,7 +53,20 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 #: multi-cell scatter op (a plain single-node service rejects the ops it
 #: does not serve with a typed BadRequest, never a framing error).
 OPS = ("ping", "run", "characterize", "datasets", "workloads", "stats",
-       "health", "shard_info", "batch")
+       "health", "shard_info", "batch",
+       "mutate", "add_vertex", "del_vertex", "add_edge", "del_edge",
+       "set_prop", "dyn_query")
+
+#: The dynamic-graph write vocabulary: ``mutate`` carries a batch of
+#: ops; the rest are single-op conveniences (one op, flat params).
+#: Writes are routed primary-only — never hedged, never failed over —
+#: because a write applied on a replica but not the primary would
+#: diverge the version history.
+WRITE_OPS = frozenset({"mutate", "add_vertex", "del_vertex", "add_edge",
+                       "del_edge", "set_prop"})
+
+#: Every op served by the dynamic engine (writes + the versioned read).
+DYNAMIC_OPS = WRITE_OPS | {"dyn_query"}
 
 
 @dataclass(frozen=True)
@@ -220,6 +235,14 @@ def payload_to_error(payload: dict[str, Any]) -> GraphError:
         return err
     if kind == RetryBudgetExhausted.kind:
         err = RetryBudgetExhausted("?")
+        err.args = (message,)
+        return err
+    if kind == MutationError.kind:
+        err = MutationError("?", "?")
+        err.args = (message,)
+        return err
+    if kind == SnapshotExpired.kind:
+        err = SnapshotExpired(0, 0, 0)
         err.args = (message,)
         return err
     return RemoteError(kind, message, remote_type)

@@ -40,6 +40,7 @@ from ..resilience.chaos import ChaosSpec
 from .cache import CacheTiers
 from .pool import PoolConfig, WorkerPool
 from .protocol import (
+    DYNAMIC_OPS,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     Request,
@@ -119,9 +120,12 @@ class GraphService:
                  scheduler_config: SchedulerConfig | None = None,
                  caches: CacheTiers | None = None,
                  chaos: ChaosSpec | None = None,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 dynamic: "DynamicEngine | None" = None):
+        from ..dynamic import DynamicEngine
         self.scheduler_config = scheduler_config or SchedulerConfig()
         self.caches = caches if caches is not None else CacheTiers.build()
+        self.dynamic = dynamic if dynamic is not None else DynamicEngine()
         self.pool = WorkerPool(pool_config, chaos=chaos,
                                caches=self.caches,
                                memoize=self.scheduler_config.caching)
@@ -316,6 +320,24 @@ class GraphService:
             return datasets_payload()
         if req.op == "stats":
             return self.stats()
+        if req.op in DYNAMIC_OPS:
+            # dynamic ops are dict-probe cheap except for a first-touch
+            # base generation or an incremental refresh — run them on the
+            # default executor so the event loop never stalls.  The wire
+            # deadline sheds already-expired work before it runs.
+            if req.expired():
+                from ..core.errors import DeadlineExceeded
+                raise DeadlineExceeded("dynamic-dispatch",
+                                       -req.remaining(), 0.0)
+            loop = asyncio.get_running_loop()
+            if req.op == "mutate":
+                return await loop.run_in_executor(
+                    None, self.dynamic.mutate, req.params)
+            if req.op == "dyn_query":
+                return await loop.run_in_executor(
+                    None, self.dynamic.query, req.params)
+            return await loop.run_in_executor(
+                None, self.dynamic.mutate_one, req.op, req.params)
         # run / characterize both execute the cell; they differ in how
         # much of the record goes back over the wire.  The wire deadline
         # rides into the scheduler, which sheds already-expired work.
@@ -352,6 +374,7 @@ class GraphService:
                                   pending=self.scheduler.pending),
                 "pool": self.pool.stats.as_dict(),
                 "cache": cache,
+                "dynamic": self.dynamic.stats(),
                 "metrics": self.registry.snapshot()}
 
 
