@@ -14,6 +14,9 @@ Examples::
     python -m repro serve --port 7421 --workers 4
     python -m repro query run BFS --dataset ldbc --scale 0.1
     python -m repro query dyn_query BFS --dataset ldbc --scale 0.05
+    python -m repro query-lang \\
+        "from twitter | bfs root=42 depth<=3 | topk degree 10"
+    python -m repro query-lang "from ldbc | cc | count" --explain
     python -m repro mutate --dataset ldbc --add-edge 3,9 --del-edge 0,1
     python -m repro loadgen --requests 200 --concurrency 16
     python -m repro loadgen --requests 200 --op dyn_query \\
@@ -24,8 +27,9 @@ Examples::
         --trace-out trace.json   # open in about:tracing
     python -m repro cluster serve --shards 4 --replication 2
     python -m repro cluster query run BFS --dataset roadnet --scale 0.05
+    python -m repro cluster query-lang "from roadnet | topk degree 10"
     python -m repro cluster loadgen --spawn --shards 4 --requests 200 \\
-        --dataset-skew 1.2
+        --dataset-skew 1.2 --query-mix 0.3
     python -m repro cluster plan --shards 4 --add shard-4 --synthetic 2000
 """
 
@@ -301,6 +305,55 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_query_lang(args) -> int:
+    from .core.errors import ServiceError
+    from .service import ServiceClient
+
+    op = "explain" if args.explain else "query"
+    try:
+        with ServiceClient(args.host, args.port,
+                           timeout_s=args.timeout) as client:
+            result = client.request(op, q=args.query)
+    except ConnectionRefusedError:
+        print(f"error: no service at {args.host}:{args.port} "
+              "(start one with `python -m repro serve` or "
+              "`python -m repro cluster serve`)", file=sys.stderr)
+        return 2
+    except ServiceError as e:
+        print(json.dumps({"kind": getattr(e, "kind", "service"),
+                          "message": getattr(e, "message", str(e)),
+                          "shard": getattr(e, "shard", None)}),
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    if args.explain:
+        from .query.plan import render_plan
+        print(render_plan(result["plan"]))
+        print(f"merge:   {' -> '.join(result['merge'])}")
+        print(f"digest:  {result['digest']} "
+              f"(plan_cached={result['plan_cached']})")
+        return 0
+    table = result["table"]
+    widths = [max(len(str(c)),
+                  *(len(str(row[i])) for row in table["rows"]))
+              if table["rows"] else len(str(c))
+              for i, c in enumerate(table["columns"])]
+    print("  ".join(str(c).ljust(w)
+                    for c, w in zip(table["columns"], widths)))
+    for row in table["rows"]:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    trailer = (f"({result['rows']} rows, plan {result['plan']}, "
+               f"served {result.get('served', '?')}")
+    if result.get("distributed"):
+        trailer += f", {result['parts']} parts"
+    if result.get("version") is not None:
+        trailer += f", version {result['version']}"
+    print(trailer + ")")
+    return 0
+
+
 def _parse_mutate_flags(args) -> list[dict]:
     """Turn the repeatable ``mutate`` flags + optional --ops file into
     wire op dicts (validation happens server-side)."""
@@ -373,6 +426,16 @@ def _write_factory(args):
         scale=args.scale, seed=0, batch=args.write_batch)
 
 
+def _query_factory(args):
+    """Build the loadgen DSL-query factory from --query-mix knobs
+    (queries sample the template pool over the listed datasets)."""
+    if getattr(args, "query_mix", 0.0) <= 0:
+        return None
+    from .service.loadgen import dsl_query_factory
+    return dsl_query_factory(tuple(args.datasets.split(",")),
+                             scale=args.scale, seed=0)
+
+
 def cmd_loadgen(args) -> int:
     from .obs import SpanTracer
     from .service import LoadGenerator, ServiceThread, schedule, workload_mix
@@ -385,7 +448,9 @@ def cmd_loadgen(args) -> int:
     plan = schedule(mix, args.requests, seed=args.seed,
                     dataset_skew=skew,
                     write_mix=getattr(args, "write_mix", 0.0),
-                    write_factory=_write_factory(args))
+                    write_factory=_write_factory(args),
+                    query_mix=getattr(args, "query_mix", 0.0),
+                    query_factory=_query_factory(args))
     tracer = SpanTracer() if args.trace_out else None
     gen_args = dict(concurrency=args.concurrency, timeout_s=args.timeout,
                     deadline_s=getattr(args, "deadline", None),
@@ -613,7 +678,9 @@ def cmd_cluster_loadgen(args) -> int:
     plan = schedule(mix, args.requests, seed=args.seed,
                     dataset_skew=args.dataset_skew,
                     write_mix=getattr(args, "write_mix", 0.0),
-                    write_factory=_write_factory(args))
+                    write_factory=_write_factory(args),
+                    query_mix=getattr(args, "query_mix", 0.0),
+                    query_factory=_query_factory(args))
     ring = spec.ring()
     imb_ds = plan_imbalance(plan, lambda d: d)
     imb_shard = plan_imbalance(plan, ring.owner)
@@ -684,6 +751,7 @@ def cmd_cluster_plan(args) -> int:
 def cmd_cluster(args) -> int:
     handler = {"serve": cmd_cluster_serve, "shard": cmd_cluster_shard,
                "query": cmd_cluster_query,
+               "query-lang": cmd_query_lang,
                "loadgen": cmd_cluster_loadgen, "plan": cmd_cluster_plan}
     return handler[args.cluster_command](args)
 
@@ -827,7 +895,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     q = sub.add_parser("query",
                        help="send one request to a running service, "
-                            "print the JSON result")
+                            "print the JSON result (for pipeline-DSL "
+                            "queries use `repro query-lang`)")
     q.add_argument("op", choices=("ping", "run", "characterize",
                                   "dyn_query", "datasets", "workloads",
                                   "stats"))
@@ -844,6 +913,22 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--host", default="127.0.0.1")
     q.add_argument("--port", type=int, default=7421)
     q.add_argument("--timeout", type=float, default=300.0)
+
+    ql = sub.add_parser(
+        "query-lang",
+        help="run a pipeline-DSL query against a running service, "
+             'e.g. "from twitter | bfs root=42 depth<=3 '
+             '| topk degree 10"')
+    ql.add_argument("query", help="pipeline DSL text: "
+                                  "from DATASET | stage | stage ...")
+    ql.add_argument("--explain", action="store_true",
+                    help="print the physical plan with per-stage cost "
+                         "estimates instead of executing")
+    ql.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    ql.add_argument("--host", default="127.0.0.1")
+    ql.add_argument("--port", type=int, default=7421)
+    ql.add_argument("--timeout", type=float, default=300.0)
 
     mu = sub.add_parser(
         "mutate",
@@ -905,6 +990,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: 0 — read-only)")
     lg.add_argument("--write-batch", type=int, default=8,
                     help="ops per mutation batch (default: 8)")
+    lg.add_argument("--query-mix", type=float, default=0.0,
+                    help="fraction of requests that are pipeline-DSL "
+                         "queries drawn from the template pool over "
+                         "the listed datasets (default: 0)")
     lg.add_argument("--dataset-skew", type=float, default=0.0,
                     help="Zipf exponent over the dataset mix (0 = "
                          "uniform); skews request volume toward the "
@@ -1020,6 +1109,22 @@ def build_parser() -> argparse.ArgumentParser:
     cq.add_argument("--port", type=int, default=ROUTER_PORT)
     cq.add_argument("--timeout", type=float, default=300.0)
 
+    cql = clsub.add_parser(
+        "query-lang",
+        help="run a pipeline-DSL query through the router: static "
+             "sources scatter per-shard subplans and merge partials, "
+             "dynamic sources route to the owner")
+    cql.add_argument("query", help="pipeline DSL text: "
+                                   "from DATASET | stage | stage ...")
+    cql.add_argument("--explain", action="store_true",
+                     help="print the physical plan with per-stage cost "
+                          "estimates instead of executing")
+    cql.add_argument("--json", action="store_true",
+                     help="machine-readable output")
+    cql.add_argument("--host", default="127.0.0.1")
+    cql.add_argument("--port", type=int, default=ROUTER_PORT)
+    cql.add_argument("--timeout", type=float, default=300.0)
+
     clg = clsub.add_parser(
         "loadgen",
         help="closed-loop load against a cluster router, with "
@@ -1044,6 +1149,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "batches against the first-listed dataset")
     clg.add_argument("--write-batch", type=int, default=8,
                      help="ops per mutation batch (default: 8)")
+    clg.add_argument("--query-mix", type=float, default=0.0,
+                     help="fraction of requests that are pipeline-DSL "
+                          "queries drawn from the template pool over "
+                          "the listed datasets (default: 0)")
     clg.add_argument("--dataset-skew", type=float, default=0.0,
                      help="Zipf exponent over the dataset mix "
                           "(0 = uniform)")
@@ -1079,7 +1188,8 @@ def main(argv: list[str] | None = None) -> int:
     handler = {"list": cmd_list, "datasets": cmd_datasets, "run": cmd_run,
                "characterize": cmd_characterize, "gpu": cmd_gpu,
                "matrix": cmd_matrix, "serve": cmd_serve,
-               "query": cmd_query, "mutate": cmd_mutate,
+               "query": cmd_query, "query-lang": cmd_query_lang,
+               "mutate": cmd_mutate,
                "loadgen": cmd_loadgen,
                "stats": cmd_stats, "cluster": cmd_cluster}
     try:

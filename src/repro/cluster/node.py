@@ -48,6 +48,19 @@ class ShardService(GraphService):
     def owns(self, dataset: str) -> bool:
         return self.datasets is None or dataset in self.datasets
 
+    def _query_dataset(self, q: Any) -> "str | None":
+        """The known source dataset of a DSL query (None when the text
+        is malformed — the engine will then raise its own typed error,
+        which names the real mistake instead of a routing one)."""
+        if not isinstance(q, str):
+            return None
+        try:
+            from ..query import parse, source_info
+            dataset = source_info(parse(q)).dataset
+        except Exception:  # noqa: BLE001 — defer to the engine's error
+            return None
+        return dataset if dataset in self._known else None
+
     def shard_info(self) -> dict[str, Any]:
         return {"shard": self.shard_id,
                 "datasets": (None if self.datasets is None
@@ -65,6 +78,15 @@ class ShardService(GraphService):
             dataset = req.params.get("dataset", "ldbc")
             if (isinstance(dataset, str) and dataset in self._known
                     and not self.owns(dataset)):
+                raise WrongShard(dataset, self.shard_id)
+        if req.op in ("query", "explain") and "part" not in req.params:
+            # an un-partitioned DSL query is keyed routing: it must land
+            # on the source dataset's owner.  A part-request is the
+            # router's scatter — any shard computes any partition (the
+            # graph is deterministically generated everywhere), which is
+            # what lets failed parts reassign to survivors.
+            dataset = self._query_dataset(req.params.get("q"))
+            if dataset is not None and not self.owns(dataset):
                 raise WrongShard(dataset, self.shard_id)
         result = await super()._dispatch(req)
         if req.op == "datasets" and self.datasets is not None:

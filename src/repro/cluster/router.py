@@ -84,6 +84,10 @@ from ..core.errors import (
 from ..obs.logs import get_logger
 from ..obs.metrics import MetricsRegistry, percentile
 from ..obs.tracing import SpanTracer, maybe_span
+from ..query import merge_partials, parse as parse_query, source_info, \
+    unparse
+from ..query.engine import plan_digest
+from ..query.plan import plan_pipeline
 from ..resilience.retry import RetryPolicy
 from ..service.cache import LRUCache
 from ..service.protocol import (
@@ -381,6 +385,11 @@ class Router:
                 callback=lambda: float(self.retry_budget.tokens))
         if rel.enabled and rel.serve_stale:
             self._stale = LRUCache(rel.stale_capacity)
+        # router-side plan cache for static-source DSL queries (version
+        # 0 — a generated graph never changes under a fixed seed);
+        # dynamic queries route to their owner, whose engine holds the
+        # version-keyed cache
+        self._plan_cache = LRUCache(128)
         # rolling successful-attempt latencies (seconds) feeding the
         # hedge-delay quantile
         self._lat_samples: list[float] = []
@@ -556,6 +565,9 @@ class Router:
         if not isinstance(error, dict):
             raise ProtocolError(f"malformed failure frame from "
                                 f"{shard}: {frame!r}")
+        # every forwarded typed error names its originating shard (a
+        # shard that already stamped itself — e.g. WrongShard — wins)
+        error.setdefault("shard", shard)
         raise payload_to_error(error)
 
     async def _route_single(self, req: Request, key: str,
@@ -837,7 +849,24 @@ class Router:
         when the tracker has ejected everything) concurrently.
 
         Returns ``(results, missing)``: per-shard results for those that
-        answered ok, and the shards that failed or timed out.
+        answered ok, and the shards that failed or timed out.  Callers
+        that forward failure detail use :meth:`_scatter_full`, which
+        also returns the shard-stamped error payloads.
+        """
+        results, missing, _ = await self._scatter_full(op, params,
+                                                       targets)
+        return results, missing
+
+    async def _scatter_full(self, op: str, params: dict[str, Any],
+                            targets: Sequence[str] | None = None
+                            ) -> tuple[dict[str, Any], list[str],
+                                       dict[str, dict]]:
+        """:meth:`_scatter` plus the per-shard error payloads.
+
+        Every payload — typed shard answers *and* transport failures —
+        carries a ``shard`` key naming where it came from, so a partial
+        aggregation can say which shard failed and why, not just that
+        one did.
         """
         if targets is None:
             targets = self.tracker.healthy_shards() or tuple(self.shards)
@@ -849,14 +878,21 @@ class Router:
                                          self.fanout_timeout_s)
             except _TRANSPORT_ERRORS as e:
                 self._note_transport_failure(name, f"_{op}", e)
-                return name, None, str(e)
+                return name, None, {
+                    "kind": "unavailable", "type": type(e).__name__,
+                    "message": str(e) or _failure_reason(e),
+                    "shard": name}
             self._note_success(name)
             if frame.get("ok"):
                 self._m_route.labels(shard=name, outcome="ok").inc()
                 return name, frame.get("result"), None
             self._m_route.labels(shard=name, outcome="error").inc()
-            err = frame.get("error") or {}
-            return name, None, err.get("message", "error")
+            err = frame.get("error")
+            if not isinstance(err, dict):
+                err = {"kind": "internal", "type": "ProtocolError",
+                       "message": "malformed failure frame"}
+            err.setdefault("shard", name)
+            return name, None, err
 
         outcomes = await asyncio.gather(*(one(n) for n in targets))
         self._m_fan.labels(op=op).observe(
@@ -865,7 +901,9 @@ class Router:
                    if err is None}
         missing = sorted(name for name, _, err in outcomes
                          if err is not None)
-        return results, missing
+        errors = {name: err for name, _, err in outcomes
+                  if err is not None}
+        return results, missing, errors
 
     # -- op dispatch ---------------------------------------------------------
 
@@ -925,6 +963,8 @@ class Router:
             replicas = self.ring.owners(key, self.replication)
             return await self._route_write(req, key, replicas,
                                            span_args)
+        if req.op in ("query", "explain"):
+            return await self._route_query(req, span_args)
         if req.op == "workloads":
             # identical on every shard: any healthy one will do, with
             # the same transport-failover walk a keyed op gets
@@ -934,11 +974,12 @@ class Router:
         if req.op == "datasets":
             return await self._gather_datasets(span_args)
         if req.op == "shard_info":
-            results, missing = await self._scatter("shard_info",
-                                                   req.params)
+            results, missing, errors = await self._scatter_full(
+                "shard_info", req.params)
             span_args["missing"] = missing
             return {"role": "router", "shards": results,
-                    "partial": bool(missing), "missing": missing}
+                    "partial": bool(missing), "missing": missing,
+                    "errors": errors}
         if req.op == "stats":
             return await self._gather_stats(span_args)
         if req.op == "batch":
@@ -981,7 +1022,7 @@ class Router:
         return out
 
     async def _gather_stats(self, span_args: dict) -> dict[str, Any]:
-        results, missing = await self._scatter("stats", {})
+        results, missing, errors = await self._scatter_full("stats", {})
         span_args["missing"] = missing
         return {"protocol": PROTOCOL_VERSION, "server": __version__,
                 "role": "router",
@@ -992,9 +1033,12 @@ class Router:
                          "replication": self.replication},
                 "health": self.tracker.snapshot(),
                 "reliability": self.reliability_snapshot(),
+                "query": {"plan_cache":
+                          self._plan_cache.stats.as_dict()},
                 "metrics": self.registry.snapshot(),
                 "shards": results,
-                "partial": bool(missing), "missing": missing}
+                "partial": bool(missing), "missing": missing,
+                "errors": errors}
 
     async def _gather_batch(self, req: Request,
                             span_args: dict) -> dict[str, Any]:
@@ -1042,6 +1086,145 @@ class Router:
         span_args["failed"] = failed
         return {"results": list(results), "entries": len(entries),
                 "failed": failed, "partial": failed > 0}
+
+    # -- pipeline-DSL queries --------------------------------------------------
+
+    def _static_plan(self, canonical: str, digest: str):
+        """Plan a static-source query through the router's
+        content-addressed plan cache (version 0: a generated graph
+        never changes under a fixed seed)."""
+        key = ("plan", digest)
+        plan = self._plan_cache.get(key, version=0)
+        if plan is not None:
+            return plan, True
+        plan = plan_pipeline(parse_query(canonical))
+        self._plan_cache.put(key, plan, version=0)
+        return plan, False
+
+    async def _route_query(self, req: Request, span_args: dict) -> Any:
+        """Route a pipeline-DSL ``query``/``explain``.
+
+        Static sources scatter: the planner splits the vertex table into
+        one partition per healthy shard, every shard runs the full
+        kernels over its deterministically-generated copy of the graph
+        and answers with its partition's partial table, and the merge
+        (:func:`repro.query.dist.merge_partials`) reassembles the exact
+        single-node answer at the front door.  Dynamic sources route
+        keyed to the dataset's owner chain — only owners hold the
+        mutation history, so a scattered dynamic query could mix
+        versions.
+
+        Garbage text fails router-side with a typed
+        :class:`~repro.core.errors.QueryError` before any shard traffic.
+        """
+        if "part" in req.params:
+            raise BadRequest("'part' is the router's internal scatter "
+                             "parameter; send the bare query")
+        pipeline = parse_query(req.params.get("q"))
+        canonical = unparse(pipeline)
+        source = source_info(pipeline)
+        if source.dynamic:
+            span_args["mode"] = "keyed"
+            replicas = self.ring.owners(source.dataset, self.replication)
+            return await self._route_keyed(req, source.dataset,
+                                           replicas, span_args)
+        digest = plan_digest(canonical)
+        plan, cached = self._static_plan(canonical, digest)
+        if req.op == "explain":
+            # deterministic for a fixed plan-cache state: the part count
+            # is the topology size, never the live healthy count
+            span_args["mode"] = "explain"
+            return {"plan": plan.to_dict(), "merge": plan.merge_ops(),
+                    "digest": digest[:16], "canonical": canonical,
+                    "version": None, "plan_cached": cached,
+                    "role": "router", "parts": len(self.shards)}
+        span_args["mode"] = "scatter"
+        return await self._scatter_query(req, plan, digest, canonical,
+                                         span_args)
+
+    async def _scatter_query(self, req: Request, plan, digest: str,
+                             canonical: str, span_args: dict) -> Any:
+        """Fan one partition per healthy shard; reassign failed parts.
+
+        A *typed* shard answer (QueryError/PlanError/...) forwards
+        immediately with shard attribution — the query is equally wrong
+        on every shard.  A *transport* failure puts the part back in the
+        pool: any shard can compute any partition, so the parts of a
+        dead shard rerun on the survivors and the answer stays whole.
+        """
+        targets = list(self.tracker.healthy_shards()
+                       or tuple(self.shards))
+        n = len(targets)
+        t0 = time.perf_counter()
+
+        async def one(index: int, shard: str):
+            params = dict(req.params)
+            params["part"] = [index, n]
+            try:
+                frame = await self._call(shard, "query", params,
+                                         self.fanout_timeout_s,
+                                         deadline=req.deadline)
+            except _TRANSPORT_ERRORS as e:
+                self._note_transport_failure(shard, f"_query:{index}", e)
+                return index, shard, None, None
+            self._note_success(shard)
+            if frame.get("ok"):
+                self._m_route.labels(shard=shard, outcome="ok").inc()
+                return index, shard, frame.get("result"), None
+            self._m_route.labels(shard=shard, outcome="error").inc()
+            error = frame.get("error")
+            if not isinstance(error, dict):
+                error = {"kind": "internal", "type": "ProtocolError",
+                         "message": f"malformed failure frame from "
+                                    f"{shard}"}
+            error.setdefault("shard", shard)
+            return index, shard, None, error
+
+        tables: dict[int, dict] = {}
+        assigned: dict[int, str] = {}
+        survivors: list[str] = []
+        pending = list(enumerate(targets))
+        rounds = 0
+        while pending:
+            outcomes = await asyncio.gather(
+                *(one(i, s) for i, s in pending))
+            failed: list[int] = []
+            for index, shard, result, error in outcomes:
+                if error is not None:
+                    span_args["outcome"] = "error"
+                    span_args["shard"] = error.get("shard", shard)
+                    raise payload_to_error(error)
+                table = result.get("table") \
+                    if isinstance(result, dict) else None
+                if not isinstance(table, dict):
+                    failed.append(index)
+                    continue
+                if shard not in survivors:
+                    survivors.append(shard)
+                tables[index] = table
+                assigned[index] = shard
+            if not failed:
+                break
+            rounds += 1
+            if not survivors or rounds > len(targets):
+                span_args["outcome"] = "unavailable"
+                raise ShardUnavailable(
+                    f"query:{digest[:16]}",
+                    tried=tuple(dict.fromkeys(s for _, s in pending)))
+            # any shard can compute any part: round-robin the failed
+            # parts over the shards that have already answered
+            pending = [(index, survivors[j % len(survivors)])
+                       for j, index in enumerate(failed)]
+        self._m_fan.labels(op="query").observe(
+            (time.perf_counter() - t0) * 1e3)
+        merged = merge_partials(plan, [tables[i] for i in range(n)])
+        span_args["parts"] = n
+        span_args["outcome"] = "ok"
+        return {"table": merged, "rows": len(merged["rows"]),
+                "plan": digest[:16], "canonical": canonical,
+                "version": None, "distributed": True, "parts": n,
+                "served": "scatter",
+                "assignments": {str(i): assigned[i] for i in range(n)}}
 
     # -- connection handling (JSON-lines loop, as the service speaks) --------
 

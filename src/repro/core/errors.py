@@ -345,6 +345,41 @@ class SnapshotExpired(ServiceError):
         self.head = head
 
 
+class QueryError(ServiceError, ValueError):
+    """A pipeline-DSL query could not be lexed or parsed (garbage
+    tokens, a truncated pipeline, a malformed argument), or failed a
+    runtime check the text alone cannot catch (a BFS root that is not a
+    vertex, a result too large to ship).
+
+    Always a property of the query, never of the server — retrying the
+    same text yields the same error, so clients should fix the query,
+    not back off.
+    """
+
+    kind = "query"
+
+    def __init__(self, message: str, *, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.message = message
+        self.position = position
+
+
+class PlanError(QueryError):
+    """A syntactically valid pipeline cannot be planned: an unknown
+    stage or dataset, an argument of the wrong shape, a column no prior
+    stage produces, or a stage ordering the executor does not support
+    (e.g. a graph kernel after an aggregate).
+
+    Distinct from :class:`QueryError` so tooling can tell "fix your
+    syntax" apart from "fix your pipeline" — the parser accepted the
+    text; the planner rejected its meaning.
+    """
+
+    kind = "plan"
+
+
 class RemoteError(ServiceError):
     """Client-side image of a failure the server shipped over the wire.
 

@@ -1,0 +1,224 @@
+"""QueryEngine: the per-service facade over parse -> plan -> execute.
+
+Three version-keyed caches, all built on the service
+:class:`~repro.service.cache.LRUCache` so their hit/miss/invalidation
+counters surface through the standard stats plumbing:
+
+* **plan cache** — content-addressed like the TraceStore: the key is
+  the sha-256 of the *canonical* query text (``unparse(parse(q))``, so
+  whitespace variants collide onto one entry) plus the planner version.
+  Entries are stored at the source graph's version — for a dynamic
+  source that is the store head, so a committed mutation bumps the head
+  and the next lookup is a counted *invalidation*, never a stale plan
+  whose cost model lies about the graph;
+* **graph cache** — materialized :class:`~repro.query.exec.GraphImage`
+  per (dataset, scale, seed, version), with a per-image kernel memo so
+  repeated queries over one graph pay for BFS/CC/coreness once;
+* **result cache** — finished tables keyed by (plan digest, part),
+  version-keyed the same way.
+
+Static sources pin version 0 (a generated graph never changes under a
+fixed seed); dynamic sources resolve to the store head unless the query
+pins ``version=N`` explicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import Any
+
+from ..core.errors import BadRequest
+from ..service.cache import LRUCache
+from .exec import GraphImage, execute_plan
+from .parse import parse, unparse
+from .plan import (
+    PLANNER_VERSION,
+    PhysicalPlan,
+    SourceInfo,
+    plan_pipeline,
+    source_info,
+)
+
+_QUERY_PARAMS = frozenset({"q", "part"})
+_EXPLAIN_PARAMS = frozenset({"q"})
+
+#: Sanity bound on fan-out width a query may request.
+MAX_PARTS = 256
+
+
+def _canon(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def plan_digest(canonical_query: str) -> str:
+    """Content address of a plan: canonical text + planner version."""
+    payload = _canon({"planner": PLANNER_VERSION, "q": canonical_query})
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def parse_part(params: dict[str, Any]) -> "tuple[int, int] | None":
+    """Validate the optional ``part=[i, n]`` wire param."""
+    part = params.get("part")
+    if part is None:
+        return None
+    if (not isinstance(part, (list, tuple)) or len(part) != 2
+            or any(isinstance(x, bool) or not isinstance(x, int)
+                   for x in part)):
+        raise BadRequest(f"part must be [index, n_parts], got {part!r}")
+    index, n_parts = int(part[0]), int(part[1])
+    if not (1 <= n_parts <= MAX_PARTS):
+        raise BadRequest(f"n_parts must be in [1, {MAX_PARTS}], got "
+                         f"{n_parts}")
+    if not (0 <= index < n_parts):
+        raise BadRequest(f"part index {index} outside [0, {n_parts})")
+    return index, n_parts
+
+
+class QueryEngine:
+    """Parse, plan, and execute pipeline queries against one node's
+    graphs (generated datasets + the dynamic engine's mutable stores).
+
+    Thread-safe for the server's executor pool: the LRU caches lock
+    internally; the per-image kernel memo is a plain dict whose worst
+    concurrent outcome is a duplicated kernel run, never a wrong one.
+    """
+
+    def __init__(self, dynamic=None, *, plan_capacity: int = 256,
+                 graph_capacity: int = 8, result_capacity: int = 512):
+        self.dynamic = dynamic
+        self.plans = LRUCache(plan_capacity)
+        self.graphs = LRUCache(graph_capacity)
+        self.results = LRUCache(result_capacity)
+        self._lock = threading.Lock()
+        self.queries = 0
+        self.explains = 0
+
+    # -- resolution ----------------------------------------------------------
+
+    def _store(self, source: SourceInfo):
+        if self.dynamic is None:
+            raise BadRequest(
+                "dynamic-source queries need a dynamic engine on this "
+                "node; drop version=/dynamic= or query a server")
+        _, store, _ = self.dynamic._store_for(
+            source.dataset, source.scale, source.seed)
+        return store
+
+    def _resolve_version(self, source: SourceInfo):
+        """(version, store) — version 0 for static sources."""
+        if not source.dynamic:
+            return 0, None
+        store = self._store(source)
+        version = store.head if source.version is None \
+            else source.version
+        return version, store
+
+    def _plan(self, canonical: str, digest: str, source: SourceInfo,
+              version: int, store) -> tuple[PhysicalPlan, bool]:
+        key = ("plan", digest)
+        cached = self.plans.get(key, version=version)
+        if cached is not None:
+            return cached, True
+        stats = None
+        if store is not None:
+            with store.snapshot(version) as snap:
+                stats = (snap.n_vertices, snap.n_arcs)
+        plan = plan_pipeline(parse(canonical), graph_stats=stats)
+        self.plans.put(key, plan, version=version)
+        return plan, False
+
+    def _graph(self, source: SourceInfo, version: int, store
+               ) -> tuple[GraphImage, dict]:
+        key = ("graph", *source.identity())
+        cached = self.graphs.get(key, version=version)
+        if cached is not None:
+            return cached
+        if store is None:
+            from ..datagen.registry import make
+            spec = make(source.dataset, scale=source.scale,
+                        seed=source.seed)
+            image = GraphImage.from_spec(spec)
+        else:
+            with store.snapshot(version) as snap:
+                image = GraphImage.from_snapshot(snap)
+        value = (image, {})
+        self.graphs.put(key, value, version=version)
+        return value
+
+    # -- wire ops ------------------------------------------------------------
+
+    def query(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Serve one ``query`` request (full or ``part`` partial)."""
+        unknown = sorted(set(params) - _QUERY_PARAMS)
+        if unknown:
+            raise BadRequest(
+                f"unknown parameter(s) {', '.join(unknown)}; choose "
+                f"from {', '.join(sorted(_QUERY_PARAMS))}")
+        part = parse_part(params)
+        pipeline = parse(params.get("q"))
+        canonical = unparse(pipeline)
+        digest = plan_digest(canonical)
+        source = source_info(pipeline)
+        version, store = self._resolve_version(source)
+        plan, plan_cached = self._plan(canonical, digest, source,
+                                       version, store)
+        with self._lock:
+            self.queries += 1
+        result_key = ("result", digest, part)
+        hit = self.results.get(result_key, version=version)
+        if hit is not None:
+            return {**hit, "plan_cached": True, "result_cached": True,
+                    "served": "result-cache"}
+        image, kernel_cache = self._graph(source, version, store)
+        table = execute_plan(plan, image, part=part,
+                             partial=part is not None,
+                             kernel_cache=kernel_cache)
+        response = {
+            "table": table,
+            "rows": len(table["rows"]),
+            "plan": digest[:16],
+            "version": version if source.dynamic else None,
+            "canonical": canonical,
+        }
+        self.results.put(result_key, response, version=version)
+        return {**response, "plan_cached": plan_cached,
+                "result_cached": False, "served": "executed"}
+
+    def explain(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Serve one ``explain`` request: the physical plan + cost
+        estimates + merge recipe.  Deterministic for a fixed plan-cache
+        state — no timings, no live measurements beyond the (versioned)
+        graph shape the cost model reads."""
+        unknown = sorted(set(params) - _EXPLAIN_PARAMS)
+        if unknown:
+            raise BadRequest(
+                f"unknown parameter(s) {', '.join(unknown)}; choose "
+                f"from {', '.join(sorted(_EXPLAIN_PARAMS))}")
+        pipeline = parse(params.get("q"))
+        canonical = unparse(pipeline)
+        digest = plan_digest(canonical)
+        source = source_info(pipeline)
+        version, store = self._resolve_version(source)
+        plan, plan_cached = self._plan(canonical, digest, source,
+                                       version, store)
+        with self._lock:
+            self.explains += 1
+        return {
+            "plan": plan.to_dict(),
+            "merge": plan.merge_ops(),
+            "digest": digest[:16],
+            "canonical": canonical,
+            "version": version if source.dynamic else None,
+            "plan_cached": plan_cached,
+        }
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {"queries": self.queries,
+                "explains": self.explains,
+                "plan_cache": self.plans.stats.as_dict(),
+                "graph_cache": self.graphs.stats.as_dict(),
+                "result_cache": self.results.stats.as_dict()}

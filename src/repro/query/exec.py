@@ -1,0 +1,376 @@
+"""The query executor: graph phase + table phase.
+
+One executor serves both deployment shapes.  The **graph phase** runs
+kernels over a :class:`GraphImage` (built from a generated
+:class:`~repro.datagen.spec.GraphSpec` or a pinned dynamic
+:class:`~repro.dynamic.store.Snapshot`) and materializes a plain table
+``{"columns": [...], "rows": [[...], ...]}`` in ascending-id order.
+The **table phase** applies the aggregate tail via
+:func:`apply_table_op` — pure functions over row lists that the
+cluster router imports *verbatim* for its scatter-gather merge, so the
+distributed answer is element-identical to the single-node answer by
+construction, not by luck.
+
+Determinism contract (every ordering rule the equivalence gate relies
+on):
+
+* materialized rows are ascending by vertex id;
+* ``topk`` orders by value descending, id ascending as the tie-break;
+* ``sample`` keeps the ``k`` smallest splitmix64 hashes of
+  ``(id, seed)`` and emits them id-ascending — the hash is recomputable
+  from the id alone, so a merge node can re-rank partials exactly;
+* ``limit`` takes the first ``k`` rows of the current order;
+* kernels always run over the *full* graph (a vertex partition selects
+  output rows, never input topology), so per-vertex results are
+  partition-invariant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import operator
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import PlanError, QueryError
+from .plan import PhysicalPlan
+
+#: Guard on shipped result size: a pipeline with no aggregate over a big
+#: graph is a mistake, not a query — fail typed instead of blowing the
+#: wire's frame cap.
+MAX_RESULT_ROWS = 50_000
+
+_CMP = {"=": operator.eq, "!=": operator.ne, "<": operator.lt,
+        "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+
+_MASK64 = (1 << 64) - 1
+
+
+def sample_key(vid: int, seed: int) -> int:
+    """splitmix64 finalizer over ``id + seed*golden`` — the sampling
+    rank.  Pure-python and recomputable anywhere from the id alone."""
+    x = (vid + seed * 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+# -- the graph image ---------------------------------------------------------
+
+@dataclass
+class GraphImage:
+    """A queryable graph: sorted vertex ids + directed arc list.
+
+    Adjacency views are built lazily and cached on the instance, so an
+    engine-cached image pays for each view once across queries.
+    """
+
+    ids: list[int]
+    arcs: list[tuple[int, int]]
+    _out: "dict[int, list[int]] | None" = field(default=None, repr=False)
+    _und: "dict[int, list[int]] | None" = field(default=None, repr=False)
+
+    @classmethod
+    def from_spec(cls, spec) -> "GraphImage":
+        arcs = [(int(s), int(d)) for s, d in spec.edges]
+        if not spec.directed:
+            seen = set(arcs)
+            arcs.extend((d, s) for s, d in list(arcs)
+                        if (d, s) not in seen)
+        return cls(ids=list(range(spec.n)), arcs=arcs)
+
+    @classmethod
+    def from_snapshot(cls, snapshot) -> "GraphImage":
+        return cls(ids=list(snapshot.vertex_ids()),
+                   arcs=sorted(snapshot.arcs()))
+
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+    @property
+    def m(self) -> int:
+        return len(self.arcs)
+
+    def out_adj(self) -> dict[int, list[int]]:
+        if self._out is None:
+            adj: dict[int, list[int]] = {v: [] for v in self.ids}
+            for s, d in self.arcs:
+                adj[s].append(d)
+            for lst in adj.values():
+                lst.sort()
+            self._out = adj
+        return self._out
+
+    def und_adj(self) -> dict[int, list[int]]:
+        """Undirected simple view: out ∪ in, self-loop free."""
+        if self._und is None:
+            nbr: dict[int, set[int]] = {v: set() for v in self.ids}
+            for s, d in self.arcs:
+                if s != d:
+                    nbr[s].add(d)
+                    nbr[d].add(s)
+            self._und = {v: sorted(ns) for v, ns in nbr.items()}
+        return self._und
+
+
+# -- kernels (full-graph, deterministic) -------------------------------------
+
+def kernel_degree(g: GraphImage) -> dict[str, dict[int, int]]:
+    out_deg = {v: 0 for v in g.ids}
+    in_deg = {v: 0 for v in g.ids}
+    for s, d in g.arcs:
+        out_deg[s] += 1
+        in_deg[d] += 1
+    und = g.und_adj()
+    return {"degree": {v: len(und[v]) for v in g.ids},
+            "out_degree": out_deg, "in_degree": in_deg}
+
+
+def kernel_bfs(g: GraphImage, root: int, depth: "int | None"
+               ) -> dict[str, dict[int, int]]:
+    """Directed BFS from ``root``; unreached vertices are absent from
+    the result maps (the executor drops their rows)."""
+    if root not in set(g.ids):
+        raise QueryError(f"bfs root {root} is not a vertex of this "
+                         f"graph ({len(g.ids)} vertices)")
+    if depth is not None and depth < 0:
+        return {"level": {}, "parent": {}}
+    adj = g.out_adj()
+    level = {root: 0}
+    parent = {root: -1}
+    frontier = deque([root])
+    while frontier:
+        v = frontier.popleft()
+        lv = level[v]
+        if depth is not None and lv >= depth:
+            continue
+        for w in adj[v]:
+            if w not in level:
+                level[w] = lv + 1
+                parent[w] = v
+                frontier.append(w)
+    return {"level": level, "parent": parent}
+
+
+def kernel_cc(g: GraphImage) -> dict[str, dict[int, int]]:
+    """Undirected connected components; the label is the component's
+    minimum vertex id (canonical, so every node computes the same
+    labels independently)."""
+    und = g.und_adj()
+    comp: dict[int, int] = {}
+    for start in g.ids:               # ascending: start is the min id
+        if start in comp:
+            continue
+        comp[start] = start
+        frontier = deque([start])
+        while frontier:
+            v = frontier.popleft()
+            for w in und[v]:
+                if w not in comp:
+                    comp[w] = start
+                    frontier.append(w)
+    return {"comp": comp}
+
+
+def kernel_kcore(g: GraphImage) -> dict[str, dict[int, int]]:
+    """Coreness per vertex (undirected peeling, Matula–Beck order)."""
+    und = g.und_adj()
+    deg = {v: len(und[v]) for v in g.ids}
+    core: dict[int, int] = {}
+    current = 0
+    removed = set()
+    # peel: repeatedly take the minimum-degree remaining vertex; its
+    # coreness is the running maximum of removal degrees
+    heap = [(deg[v], v) for v in sorted(g.ids)]
+    heapq.heapify(heap)
+    live_deg = dict(deg)
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in removed or d != live_deg[v]:
+            continue                   # stale heap entry
+        current = max(current, d)
+        core[v] = current
+        removed.add(v)
+        for w in und[v]:
+            if w not in removed:
+                live_deg[w] -= 1
+                heapq.heappush(heap, (live_deg[w], w))
+    return {"core": core}
+
+
+def kernel_triangles(g: GraphImage) -> dict[str, dict[int, int]]:
+    """Per-vertex triangle count on the undirected simple view."""
+    und = {v: set(ns) for v, ns in g.und_adj().items()}
+    tri = {v: 0 for v in g.ids}
+    for u in g.ids:
+        for v in und[u]:
+            if v <= u:
+                continue
+            common = und[u] & und[v]
+            for w in common:
+                if w > v:
+                    tri[u] += 1
+                    tri[v] += 1
+                    tri[w] += 1
+    return {"tri": tri}
+
+
+# -- graph phase -------------------------------------------------------------
+
+def run_graph_phase(plan: PhysicalPlan, graph: GraphImage, *,
+                    part: "tuple[int, int] | None" = None,
+                    kernel_cache: "dict | None" = None
+                    ) -> dict[str, Any]:
+    """Execute scan + graph ops; return the materialized table.
+
+    ``part = (i, n)`` restricts *output rows* to vertices with
+    ``id % n == i`` — kernels still see the whole graph, so per-vertex
+    values are identical no matter which shard computes them.
+    ``kernel_cache`` (dict-like) memoizes kernel column maps across
+    queries against the same graph image.
+    """
+    ids = graph.ids
+    if part is None:
+        keep = set(ids)
+    else:
+        i, n = part
+        keep = {v for v in ids if v % n == i}
+    cols: dict[str, dict[int, Any]] = {}
+    visible = ["id"]
+
+    def run_kernel(op: dict[str, Any]) -> dict[str, dict[int, Any]]:
+        kind = op["kind"]
+        cache_key = tuple(sorted((k, v) for k, v in op.items()))
+        if kernel_cache is not None and cache_key in kernel_cache:
+            return kernel_cache[cache_key]
+        if kind == "degree":
+            result = kernel_degree(graph)
+        elif kind == "bfs":
+            result = kernel_bfs(graph, op["root"], op["depth"])
+        elif kind == "cc":
+            result = kernel_cc(graph)
+        elif kind == "kcore":
+            result = kernel_kcore(graph)
+        elif kind == "triangles":
+            result = kernel_triangles(graph)
+        else:  # pragma: no cover - planner guarantees the catalog
+            raise PlanError(f"unknown kernel {kind!r}")
+        if kernel_cache is not None:
+            kernel_cache[cache_key] = result
+        return result
+
+    for op in plan.graph_ops:
+        kind = op["kind"]
+        if kind in ("degree", "bfs", "cc", "kcore", "triangles"):
+            produced = run_kernel(op)
+            cols.update(produced)
+            visible.extend(produced.keys())
+            if kind == "bfs":
+                reached = produced["level"]
+                keep &= reached.keys()
+            elif kind == "kcore" and op.get("k") is not None:
+                core = produced["core"]
+                keep = {v for v in keep if core.get(v, 0) >= op["k"]}
+        elif kind == "filter":
+            col, cmp_fn = op["column"], _CMP[op["cmp"]]
+            value = op["value"]
+            series = cols[col]
+            keep = {v for v in keep if cmp_fn(series.get(v), value)}
+        elif kind == "project":
+            visible = list(op["columns"])
+        else:  # pragma: no cover - planner phase split guarantees this
+            raise PlanError(f"op {kind!r} is not a graph-phase op")
+
+    rows = [[v] + [_jsonable(cols[c].get(v)) for c in visible[1:]]
+            for v in ids if v in keep]
+    if len(rows) > MAX_RESULT_ROWS:
+        raise QueryError(
+            f"result of {len(rows)} rows exceeds {MAX_RESULT_ROWS}; "
+            "add a topk/limit/sample/count stage")
+    return {"columns": list(visible), "rows": rows}
+
+
+def _jsonable(value):
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    return int(value)
+
+
+# -- table phase (shared with the router's merge) ----------------------------
+
+def _col_index(table: dict[str, Any], column: str) -> int:
+    try:
+        return table["columns"].index(column)
+    except ValueError:
+        raise PlanError(f"column {column!r} missing from table "
+                        f"{table['columns']}") from None
+
+
+def apply_table_op(table: dict[str, Any], op: dict[str, Any]
+                   ) -> dict[str, Any]:
+    """Apply one aggregate/relational op to a materialized table.
+
+    Pure and deterministic; the router calls this over merged partials
+    with the exact ops the shards planned, which is what makes the
+    distributed path answer-identical to the local one.
+    """
+    kind = op["kind"]
+    rows = table["rows"]
+    if kind == "filter":
+        ci = _col_index(table, op["column"])
+        cmp_fn, value = _CMP[op["cmp"]], op["value"]
+        return {"columns": table["columns"],
+                "rows": [r for r in rows if cmp_fn(r[ci], value)]}
+    if kind == "project":
+        idx = [_col_index(table, c) for c in op["columns"]]
+        return {"columns": list(op["columns"]),
+                "rows": [[r[i] for i in idx] for r in rows]}
+    if kind == "topk":
+        ci = _col_index(table, op["column"])
+        ordered = sorted(rows, key=lambda r: (-r[ci], r[0]))
+        return {"columns": table["columns"], "rows": ordered[:op["k"]]}
+    if kind == "sample":
+        seed = op["seed"]
+        ranked = sorted(rows, key=lambda r: (sample_key(r[0], seed),
+                                             r[0]))[:op["k"]]
+        ranked.sort(key=lambda r: r[0])
+        return {"columns": table["columns"], "rows": ranked}
+    if kind == "limit":
+        return {"columns": table["columns"], "rows": rows[:op["k"]]}
+    if kind == "count":
+        return {"columns": ["count"], "rows": [[len(rows)]]}
+    raise PlanError(f"op {kind!r} is not a table op")  # pragma: no cover
+
+
+def run_table_phase(table: dict[str, Any],
+                    ops: list[dict[str, Any]]) -> dict[str, Any]:
+    for op in ops:
+        table = apply_table_op(table, op)
+    return table
+
+
+def execute_plan(plan: PhysicalPlan, graph: GraphImage, *,
+                 part: "tuple[int, int] | None" = None,
+                 partial: bool = False,
+                 kernel_cache: "dict | None" = None) -> dict[str, Any]:
+    """Run a plan end to end against one graph image.
+
+    ``partial=True`` is the shard-side distributed mode: the graph
+    phase runs over this shard's vertex partition and only the *first*
+    table op is applied (its partial form — a local topk / bottom-k
+    sample / first-k / partial count is a valid input to the router's
+    merge).  The router then re-applies the final forms.
+    """
+    table = run_graph_phase(plan, graph, part=part,
+                            kernel_cache=kernel_cache)
+    if partial:
+        if plan.table_ops:
+            table = apply_table_op(table, plan.table_ops[0])
+        return table
+    return run_table_phase(table, plan.table_ops)

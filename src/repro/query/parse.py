@@ -1,0 +1,206 @@
+"""Hand-written lexer + recursive-descent parser for the pipeline DSL.
+
+The grammar is small enough to read in one screen::
+
+    pipeline  :=  source ( '|' stage )*
+    source    :=  'from' IDENT arg*
+    stage     :=  IDENT arg*
+    arg       :=  IDENT cmp value          -- named:  root=42, depth<=3
+               |  value                    -- positional:  degree, 10
+    cmp       :=  '=' | '<' | '<=' | '>' | '>=' | '!='
+    value     :=  NUMBER | BOOL | IDENT ( ',' IDENT )*
+
+Every failure — garbage bytes, a truncated pipeline, a dangling
+comparator — raises a typed :class:`~repro.core.errors.QueryError`
+carrying the offending position; the parser never raises anything else,
+so a malformed query can never crash a server (property-tested against
+arbitrary input).  :func:`unparse` renders an AST back to canonical
+text: ``parse(unparse(parse(s)))`` equals ``parse(s)`` for every
+accepted ``s``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.errors import QueryError
+from .ast import Arg, Pipeline, Stage
+
+#: Hard cap on query text: longer is a typo or an attack, not a query.
+MAX_QUERY_CHARS = 4096
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<pipe>\|)
+  | (?P<cmp><=|>=|!=|=|<|>)
+  | (?P<comma>,)
+  | (?P<number>-?\d+\.\d+(?:[eE][+-]?\d+)?|-?\d+[eE][+-]?\d+|-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+""", re.VERBOSE)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int):
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"_Token({self.kind}, {self.text!r}, {self.pos})"
+
+
+def _lex(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise QueryError(
+                f"unexpected character {text[pos]!r}", position=pos)
+        kind = m.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, m.group(), pos))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], length: int):
+        self.tokens = tokens
+        self.i = 0
+        self.length = length          # for end-of-input positions
+
+    def _peek(self) -> "_Token | None":
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def _next(self, expect: str) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            raise QueryError(f"truncated query: expected {expect}",
+                             position=self.length)
+        self.i += 1
+        return tok
+
+    def pipeline(self) -> Pipeline:
+        source = self._stage(source=True)
+        stages: list[Stage] = []
+        while True:
+            tok = self._peek()
+            if tok is None:
+                break
+            if tok.kind != "pipe":
+                raise QueryError(
+                    f"expected '|' between stages, got {tok.text!r}",
+                    position=tok.pos)
+            self.i += 1
+            stages.append(self._stage(source=False))
+        return Pipeline(source=source, stages=tuple(stages))
+
+    def _stage(self, *, source: bool) -> Stage:
+        what = "'from'" if source else "a stage name"
+        tok = self._next(what)
+        if tok.kind != "ident":
+            raise QueryError(f"expected {what}, got {tok.text!r}",
+                             position=tok.pos)
+        if source and tok.text != "from":
+            raise QueryError(
+                f"a pipeline starts with 'from <dataset>', got "
+                f"{tok.text!r}", position=tok.pos)
+        name = tok.text
+        args: list[Arg] = []
+        if source:
+            ds = self._next("a dataset name")
+            if ds.kind != "ident":
+                raise QueryError(
+                    f"expected a dataset name after 'from', got "
+                    f"{ds.text!r}", position=ds.pos)
+            args.append(Arg(None, "", ds.text))
+        while True:
+            tok = self._peek()
+            if tok is None or tok.kind == "pipe":
+                break
+            args.append(self._arg())
+        return Stage(name=name, args=tuple(args))
+
+    def _arg(self) -> Arg:
+        tok = self._next("an argument")
+        if tok.kind == "number":
+            return Arg(None, "", _number(tok))
+        if tok.kind != "ident":
+            raise QueryError(f"unexpected {tok.text!r} in argument list",
+                             position=tok.pos)
+        nxt = self._peek()
+        if nxt is not None and nxt.kind == "cmp":
+            self.i += 1
+            return Arg(tok.text, nxt.text, self._value())
+        if nxt is not None and nxt.kind == "comma":
+            return Arg(None, "", self._ident_list(tok))
+        return Arg(None, "", _bool_or_ident(tok.text))
+
+    def _value(self):
+        tok = self._next("a value")
+        if tok.kind == "number":
+            return _number(tok)
+        if tok.kind == "ident":
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "comma":
+                return self._ident_list(tok)
+            return _bool_or_ident(tok.text)
+        raise QueryError(f"expected a value, got {tok.text!r}",
+                         position=tok.pos)
+
+    def _ident_list(self, first: _Token) -> tuple[str, ...]:
+        names = [first.text]
+        while True:
+            nxt = self._peek()
+            if nxt is None or nxt.kind != "comma":
+                return tuple(names)
+            self.i += 1
+            tok = self._next("an identifier after ','")
+            if tok.kind != "ident":
+                raise QueryError(
+                    f"expected an identifier after ',', got {tok.text!r}",
+                    position=tok.pos)
+            names.append(tok.text)
+
+
+def _number(tok: _Token):
+    text = tok.text
+    if re.fullmatch(r"-?\d+", text):
+        return int(text)
+    return float(text)
+
+
+def _bool_or_ident(text: str):
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    return text
+
+
+def parse(text: str) -> Pipeline:
+    """Parse DSL text into a :class:`~repro.query.ast.Pipeline`.
+
+    Raises :class:`~repro.core.errors.QueryError` — and only that — on
+    any input the grammar does not accept.
+    """
+    if not isinstance(text, str):
+        raise QueryError(f"query must be a string, got "
+                         f"{type(text).__name__}")
+    if len(text) > MAX_QUERY_CHARS:
+        raise QueryError(f"query of {len(text)} chars exceeds "
+                         f"{MAX_QUERY_CHARS}")
+    if not text.strip():
+        raise QueryError("empty query")
+    tokens = _lex(text)
+    parser = _Parser(tokens, len(text))
+    pipeline = parser.pipeline()
+    return pipeline
+
+
+def unparse(pipeline: Pipeline) -> str:
+    """Canonical text of a pipeline (the content-address input)."""
+    return pipeline.render()

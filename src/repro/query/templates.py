@@ -1,0 +1,46 @@
+"""Query-template pool for mixed-traffic load generation.
+
+Plain DSL strings (not :class:`~repro.service.loadgen.Query` objects —
+the loadgen wraps them, which keeps this package free of a service
+import cycle) covering every kernel and every aggregate, so a
+``--query-mix`` run exercises the whole planner/executor surface, not
+one hot template.
+
+The pool is deterministic in ``(datasets, scale, seed)``: the same
+arguments yield the same list in the same order, which the loadgen's
+seeded schedule then samples reproducibly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: One entry per (kernel x aggregate) shape worth exercising; ``{ds}``,
+#: ``{scale}`` and ``{seed}`` are filled per dataset.
+_TEMPLATES = (
+    "from {ds} scale={scale} seed={seed} | topk degree 10",
+    "from {ds} scale={scale} seed={seed} | bfs root=0 depth<=3 "
+    "| topk level 16",
+    "from {ds} scale={scale} seed={seed} | cc | count",
+    "from {ds} scale={scale} seed={seed} | kcore k>=2 | topk core 8",
+    "from {ds} scale={scale} seed={seed} | triangles | topk tri 8",
+    "from {ds} scale={scale} seed={seed} | filter out_degree>=4 "
+    "| count",
+    "from {ds} scale={scale} seed={seed} | sample 12 seed={seed}",
+    "from {ds} scale={scale} seed={seed} | cc | filter comp=0 | count",
+    "from {ds} scale={scale} seed={seed} | bfs root=0 "
+    "| filter level<=2 | project level,parent | limit 20",
+)
+
+
+def query_template_pool(datasets: Iterable[str], *,
+                        scale: float = 0.05,
+                        seed: int = 0) -> list[str]:
+    """The DSL template pool for ``datasets`` at one (scale, seed)."""
+    scale_text = f"{float(scale):g}"
+    pool = []
+    for ds in datasets:
+        for template in _TEMPLATES:
+            pool.append(template.format(ds=ds, scale=scale_text,
+                                        seed=int(seed)))
+    return pool

@@ -228,6 +228,18 @@ class ServiceClient:
                             dataset=dataset, scale=scale, seed=seed,
                             ops=ops, strict=strict)
 
+    def query_lang(self, q: str, *,
+                   deadline_s: float | None = None) -> dict[str, Any]:
+        """Execute one pipeline-DSL query (``from twitter | ...``);
+        returns the result table plus the plan digest that served it."""
+        return self.request("query", deadline_s=deadline_s, q=q)
+
+    def explain(self, q: str, *,
+                deadline_s: float | None = None) -> dict[str, Any]:
+        """Plan a pipeline-DSL query without executing it; returns the
+        physical plan with per-stage cost estimates."""
+        return self.request("explain", deadline_s=deadline_s, q=q)
+
     def dyn_query(self, workload: str, dataset: str = "ldbc", *,
                   root: int = 0, scale: float = 0.05, seed: int = 0,
                   deadline_s: float | None = None) -> dict[str, Any]:

@@ -32,7 +32,7 @@ from ..core.errors import GraphError
 from ..obs.metrics import percentile
 from ..obs.tracing import SpanTracer, maybe_span
 from .client import ServiceClient
-from .protocol import WRITE_OPS
+from .protocol import QUERY_OPS, WRITE_OPS
 
 #: Failure-kind tag for transport-level errors (dropped/refused/reset
 #: connections) — distinct from every server-reported taxonomy kind.
@@ -76,6 +76,9 @@ def schedule(mix: Sequence[Query], n_requests: int,
              seed: int = 0, *, dataset_skew: float = 0.0,
              write_mix: float = 0.0,
              write_factory: "Callable[[random.Random], Query] | None"
+             = None,
+             query_mix: float = 0.0,
+             query_factory: "Callable[[random.Random], Query] | None"
              = None) -> list[Query]:
     """Deterministic request sequence: seeded draws from the mix.
 
@@ -89,15 +92,24 @@ def schedule(mix: Sequence[Query], n_requests: int,
 
     ``write_mix`` in (0, 1] interleaves mutation traffic: each slot is a
     write with that probability, drawn from ``write_factory(rng)`` (see
-    :func:`churn_write_factory`).  At ``write_mix=0`` the RNG draw
+    :func:`churn_write_factory`).  ``query_mix`` interleaves pipeline-DSL
+    queries the same way, drawn from ``query_factory(rng)`` (see
+    :func:`dsl_query_factory`); both mixes share one slot draw, so they
+    must sum to at most 1.  At ``write_mix=query_mix=0`` the RNG draw
     sequence is untouched, so existing plans stay byte-identical.
     """
     if not mix:
         raise ValueError("query mix is empty")
     if not 0 <= write_mix <= 1:
         raise ValueError("write_mix must be in [0, 1]")
+    if not 0 <= query_mix <= 1:
+        raise ValueError("query_mix must be in [0, 1]")
+    if write_mix + query_mix > 1:
+        raise ValueError("write_mix + query_mix must be <= 1")
     if write_mix > 0 and write_factory is None:
         raise ValueError("write_mix > 0 requires a write_factory")
+    if query_mix > 0 and query_factory is None:
+        raise ValueError("query_mix > 0 requires a query_factory")
     rng = random.Random(f"loadgen:{seed}")
     if dataset_skew <= 0:
         def draw_read() -> Query:
@@ -116,10 +128,17 @@ def schedule(mix: Sequence[Query], n_requests: int,
             pool = groups[dataset]
             return pool[rng.randrange(len(pool))]
 
-    if write_mix <= 0:
+    if write_mix <= 0 and query_mix <= 0:
         return [draw_read() for _ in range(n_requests)]
-    return [write_factory(rng) if rng.random() < write_mix
-            else draw_read() for _ in range(n_requests)]
+
+    def draw_slot() -> Query:
+        r = rng.random()
+        if r < write_mix:
+            return write_factory(rng)
+        if r < write_mix + query_mix:
+            return query_factory(rng)
+        return draw_read()
+    return [draw_slot() for _ in range(n_requests)]
 
 
 def churn_write_factory(dataset: str, n_vertices: int, *,
@@ -135,6 +154,22 @@ def churn_write_factory(dataset: str, n_vertices: int, *,
         return Query(op="mutate", params={
             "dataset": dataset, "scale": scale, "seed": seed,
             "ops": churn_ops(rng, n_vertices, batch)})
+    return factory
+
+
+def dsl_query_factory(datasets: Sequence[str], *, scale: float = 0.05,
+                      seed: int = 0
+                      ) -> Callable[[random.Random], Query]:
+    """A ``query_factory`` for :func:`schedule`: each draw is one
+    pipeline-DSL ``query`` request sampled uniformly from the
+    :func:`~repro.query.templates.query_template_pool` covering
+    ``datasets`` — every kernel and aggregate shape, reproducibly."""
+    from ..query import query_template_pool
+    pool = query_template_pool(datasets, scale=scale, seed=seed)
+
+    def factory(rng: random.Random) -> Query:
+        return Query(op="query",
+                     params={"q": pool[rng.randrange(len(pool))]})
     return factory
 
 
@@ -173,9 +208,11 @@ class LoadReport:
     served: dict[str, int]               # cache / coalesced / executed
     degraded: int = 0                    # ok responses marked degraded
     max_staleness_s: float = 0.0         # worst disclosed staleness age
-    # read/write split (writes = WRITE_OPS requests; both sorted)
+    # read/write/query split (writes = WRITE_OPS requests, queries =
+    # QUERY_OPS requests, reads = the rest; all sorted)
     read_latencies_ms: list[float] = field(default_factory=list)
     write_latencies_ms: list[float] = field(default_factory=list)
+    query_latencies_ms: list[float] = field(default_factory=list)
     # worst (max committed write version seen) - (read's answered
     # version) over the run: the measured staleness bound in versions
     max_version_lag: int = 0
@@ -221,6 +258,9 @@ class LoadReport:
             out["write_latency_ms"] = self._lat_summary(
                 self.write_latencies_ms)
             out["max_version_lag"] = self.max_version_lag
+        if self.query_latencies_ms:
+            out["query_latency_ms"] = self._lat_summary(
+                self.query_latencies_ms)
         return out
 
     def format(self) -> str:
@@ -241,6 +281,10 @@ class LoadReport:
                          f"p99={w['p99']} max={w['max']}")
             lines.append(f"version lag  max {s['max_version_lag']} "
                          f"version(s) behind committed")
+        if "query_latency_ms" in s:
+            q = s["query_latency_ms"]
+            lines.append(f"query ms     p50={q['p50']} p95={q['p95']} "
+                         f"p99={q['p99']} max={q['max']}")
         if self.degraded:
             lines.append(f"degraded     {self.degraded} "
                          f"(max staleness {s['max_staleness_s']}s)")
@@ -283,6 +327,7 @@ class LoadGenerator:
         latencies: list[float] = []
         read_latencies: list[float] = []
         write_latencies: list[float] = []
+        query_latencies: list[float] = []
         failures: dict[str, int] = {}
         served: dict[str, int] = {}
         ok_count = [0]
@@ -337,11 +382,13 @@ class LoadGenerator:
                             span_args["degraded"] = True
                     dt_ms = (time.perf_counter() - t0) * 1e3
                     is_write = query.op in WRITE_OPS
+                    is_query = query.op in QUERY_OPS
                     version = (result or {}).get("version")
                     with lock:
                         ok_count[0] += 1
                         latencies.append(dt_ms)
                         (write_latencies if is_write
+                         else query_latencies if is_query
                          else read_latencies).append(dt_ms)
                         served[how] = served.get(how, 0) + 1
                         if isinstance(version, int):
@@ -371,6 +418,7 @@ class LoadGenerator:
         latencies.sort()
         read_latencies.sort()
         write_latencies.sort()
+        query_latencies.sort()
         return LoadReport(requests=len(plan), ok=ok_count[0],
                           failed=fail_count[0],
                           failures_by_kind=failures, elapsed_s=elapsed,
@@ -379,4 +427,5 @@ class LoadGenerator:
                           max_staleness_s=max_staleness[0],
                           read_latencies_ms=read_latencies,
                           write_latencies_ms=write_latencies,
+                          query_latencies_ms=query_latencies,
                           max_version_lag=max_lag[0])

@@ -32,7 +32,9 @@ from ..core.errors import (
     DeadlineExceeded,
     GraphError,
     MutationError,
+    PlanError,
     ProtocolError,
+    QueryError,
     RemoteError,
     RetryBudgetExhausted,
     ShardUnavailable,
@@ -55,7 +57,7 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 OPS = ("ping", "run", "characterize", "datasets", "workloads", "stats",
        "health", "shard_info", "batch",
        "mutate", "add_vertex", "del_vertex", "add_edge", "del_edge",
-       "set_prop", "dyn_query")
+       "set_prop", "dyn_query", "query", "explain")
 
 #: The dynamic-graph write vocabulary: ``mutate`` carries a batch of
 #: ops; the rest are single-op conveniences (one op, flat params).
@@ -67,6 +69,12 @@ WRITE_OPS = frozenset({"mutate", "add_vertex", "del_vertex", "add_edge",
 
 #: Every op served by the dynamic engine (writes + the versioned read).
 DYNAMIC_OPS = WRITE_OPS | {"dyn_query"}
+
+#: The pipeline-DSL ops: ``query`` carries the DSL text (plus an
+#: optional ``part=[i, n]`` for the router's per-shard subplans);
+#: ``explain`` returns the physical plan with per-stage cost estimates
+#: without executing anything.
+QUERY_OPS = frozenset({"query", "explain"})
 
 
 @dataclass(frozen=True)
@@ -197,7 +205,14 @@ def error_to_payload(exc: BaseException) -> dict[str, str]:
     message = getattr(exc, "message", None)
     if not isinstance(message, str):
         message = str(exc) or type(exc).__name__
-    return {"kind": kind, "type": type(exc).__name__, "message": message}
+    payload = {"kind": kind, "type": type(exc).__name__,
+               "message": message}
+    # shard attribution survives re-encoding: a router forwarding a
+    # rehydrated shard error keeps the originating shard on the payload
+    shard = getattr(exc, "shard", None)
+    if isinstance(shard, str) and shard and shard != "?":
+        payload["shard"] = shard
+    return payload
 
 
 def payload_to_error(payload: dict[str, Any]) -> GraphError:
@@ -206,8 +221,19 @@ def payload_to_error(payload: dict[str, Any]) -> GraphError:
     Backpressure and protocol violations map back onto their concrete
     classes (so a client can catch :class:`AdmissionRejected` and back
     off); everything else becomes a :class:`RemoteError` preserving the
-    server's taxonomy tag.
+    server's taxonomy tag.  A ``shard`` attribution stamped on the
+    payload (the router names the originating shard on every error it
+    forwards) survives as a ``.shard`` attribute on the rehydrated
+    exception.
     """
+    err = _rehydrate(payload)
+    shard = payload.get("shard")
+    if isinstance(shard, str) and shard:
+        err.shard = shard
+    return err
+
+
+def _rehydrate(payload: dict[str, Any]) -> GraphError:
     kind = str(payload.get("kind", "internal"))
     message = str(payload.get("message", ""))
     remote_type = str(payload.get("type", ""))
@@ -245,4 +271,8 @@ def payload_to_error(payload: dict[str, Any]) -> GraphError:
         err = SnapshotExpired(0, 0, 0)
         err.args = (message,)
         return err
+    if kind == PlanError.kind:
+        return PlanError(message)
+    if kind == QueryError.kind:
+        return QueryError(message)
     return RemoteError(kind, message, remote_type)

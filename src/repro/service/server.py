@@ -43,6 +43,7 @@ from .protocol import (
     DYNAMIC_OPS,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    QUERY_OPS,
     Request,
     decode_frame,
     encode_error,
@@ -123,9 +124,11 @@ class GraphService:
                  registry: MetricsRegistry | None = None,
                  dynamic: "DynamicEngine | None" = None):
         from ..dynamic import DynamicEngine
+        from ..query import QueryEngine
         self.scheduler_config = scheduler_config or SchedulerConfig()
         self.caches = caches if caches is not None else CacheTiers.build()
         self.dynamic = dynamic if dynamic is not None else DynamicEngine()
+        self.query_engine = QueryEngine(self.dynamic)
         self.pool = WorkerPool(pool_config, chaos=chaos,
                                caches=self.caches,
                                memoize=self.scheduler_config.caching)
@@ -320,6 +323,17 @@ class GraphService:
             return datasets_payload()
         if req.op == "stats":
             return self.stats()
+        if req.op in QUERY_OPS:
+            # pipeline-DSL queries run whole kernels — off the event
+            # loop, with the same deadline shedding as dynamic ops
+            if req.expired():
+                from ..core.errors import DeadlineExceeded
+                raise DeadlineExceeded("query-dispatch",
+                                       -req.remaining(), 0.0)
+            loop = asyncio.get_running_loop()
+            handler = self.query_engine.query if req.op == "query" \
+                else self.query_engine.explain
+            return await loop.run_in_executor(None, handler, req.params)
         if req.op in DYNAMIC_OPS:
             # dynamic ops are dict-probe cheap except for a first-touch
             # base generation or an incremental refresh — run them on the
@@ -375,6 +389,7 @@ class GraphService:
                 "pool": self.pool.stats.as_dict(),
                 "cache": cache,
                 "dynamic": self.dynamic.stats(),
+                "query": self.query_engine.stats(),
                 "metrics": self.registry.snapshot()}
 
 

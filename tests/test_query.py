@@ -1,0 +1,371 @@
+"""Pipeline-DSL query language: parser round-trip (property-tested),
+typed errors on garbage, planner shape/fusion, executor equivalence
+against naive references, the engine's version-keyed plan cache, and
+the query/explain wire ops end-to-end over a live service."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import BadRequest, PlanError, QueryError
+from repro.datagen.registry import make
+from repro.query import (
+    PLANNER_VERSION,
+    QueryEngine,
+    merge_partials,
+    parse,
+    plan_pipeline,
+    query_template_pool,
+    source_info,
+    unparse,
+)
+from repro.query.engine import plan_digest
+from repro.query.exec import (
+    GraphImage,
+    execute_plan,
+    kernel_bfs,
+    kernel_cc,
+    kernel_degree,
+    kernel_kcore,
+    kernel_triangles,
+    sample_key,
+)
+from repro.query.plan import render_plan
+from repro.service import (
+    GraphService,
+    PoolConfig,
+    ServiceClient,
+    ServiceThread,
+)
+
+DATASET = "ldbc"
+SCALE = 0.02
+
+
+def _image(dataset: str = DATASET, scale: float = SCALE,
+           seed: int = 0) -> GraphImage:
+    return GraphImage.from_spec(make(dataset, scale=scale, seed=seed))
+
+
+def _run(q: str, **kwargs):
+    return execute_plan(plan_pipeline(parse(q)), _image(), **kwargs)
+
+
+# -- parser: round-trip and canonical form -----------------------------------
+
+_IDENT = st.sampled_from(["twitter", "knowledge", "watson", "roadnet",
+                          "ldbc"])
+_KERNELS = st.sampled_from([
+    "bfs root=0 depth<=3", "bfs root=7", "cc", "kcore k>=2", "degree",
+    "triangles"])
+_TABLE = st.sampled_from([
+    "filter out_degree>=4", "filter level<=2", "project id,degree",
+    "topk degree 10", "sample 8 seed=3", "limit 5", "count"])
+
+
+@st.composite
+def pipelines(draw) -> str:
+    src = f"from {draw(_IDENT)} scale=0.05 seed={draw(st.integers(0, 9))}"
+    stages = draw(st.lists(st.one_of(_KERNELS, _TABLE), min_size=0,
+                           max_size=4))
+    return " | ".join([src] + stages)
+
+
+class TestParser:
+    @settings(max_examples=200, deadline=None)
+    @given(pipelines())
+    def test_round_trip_is_identity(self, text):
+        # not every generated pipeline *plans* (ordering rules), but
+        # every one must parse, and parse -> unparse -> parse must be
+        # a fixed point
+        p = parse(text)
+        assert parse(unparse(p)) == p
+        assert unparse(parse(unparse(p))) == unparse(p)
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(max_size=120))
+    def test_arbitrary_text_never_raises_untyped(self, text):
+        try:
+            parse(text)
+        except QueryError:
+            pass          # the only allowed failure type
+
+    def test_whitespace_variants_collide_canonically(self):
+        a = parse("from twitter|bfs root=42 depth<=3|topk degree 10")
+        b = parse("from twitter | bfs  root=42   depth<=3 | "
+                  "topk degree 10")
+        assert unparse(a) == unparse(b)
+        assert plan_digest(unparse(a)) == plan_digest(unparse(b))
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "from", "from 123", "bfs root=0",
+        "from twitter |", "from twitter | bfs root=", "from twitter ||",
+        "from twitter | topk degree", "from twitter | filter",
+        "from twitter | bfs root=0 \x00", "x" * 5000,
+    ])
+    def test_garbage_raises_typed_query_error(self, bad):
+        # some of these die in the lexer, some at argument-arity check
+        # in the planner; PlanError subclasses QueryError, so the whole
+        # funnel stays one catchable type
+        with pytest.raises(QueryError):
+            plan_pipeline(parse(bad))
+
+    def test_error_carries_position(self):
+        with pytest.raises(QueryError, match="position"):
+            parse("from twitter | bfs root=$")
+
+
+# -- planner -----------------------------------------------------------------
+
+class TestPlanner:
+    def test_unknown_dataset_and_stage_are_plan_errors(self):
+        with pytest.raises(PlanError):
+            plan_pipeline(parse("from nosuch | count"))
+        with pytest.raises(PlanError):
+            plan_pipeline(parse("from twitter | zap"))
+
+    def test_kernel_after_aggregate_rejected(self):
+        with pytest.raises(PlanError):
+            plan_pipeline(parse("from twitter | topk degree 5 | cc"))
+
+    def test_count_is_terminal(self):
+        with pytest.raises(PlanError):
+            plan_pipeline(parse("from twitter | count | limit 3"))
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(PlanError):
+            plan_pipeline(parse("from twitter | topk level 5"))
+
+    def test_implicit_degree_inserted_before_aggregate(self):
+        plan = plan_pipeline(parse(
+            "from twitter | bfs root=0 | topk degree 5"))
+        assert [op["kind"] for op in plan.ops] == \
+            ["scan", "bfs", "degree", "topk"]
+
+    def test_filter_fuses_into_bfs_depth_bound(self):
+        plan = plan_pipeline(parse(
+            "from twitter | bfs root=0 depth<=9 | filter level<=2 "
+            "| count"))
+        assert plan.fused == 1
+        bfs = next(op for op in plan.graph_ops if op["kind"] == "bfs")
+        assert bfs["depth"] == 2
+
+    def test_explain_payload_deterministic(self):
+        q = "from twitter | cc | topk comp 5"
+        a = plan_pipeline(parse(q)).to_dict()
+        b = plan_pipeline(parse(q)).to_dict()
+        assert a == b
+        assert a["planner"] == PLANNER_VERSION
+        text = render_plan(a)
+        assert "scan[twitter" in text and "topk" in text
+
+    def test_costs_monotone_in_scale(self):
+        small = plan_pipeline(parse("from twitter scale=0.02 | cc "
+                                    "| count"))
+        large = plan_pipeline(parse("from twitter scale=0.2 | cc "
+                                    "| count"))
+        assert large.total_cost > small.total_cost
+
+    def test_dynamic_source_parses_version_pin(self):
+        src = source_info(parse("from ldbc version=3 | count"))
+        assert src.dynamic and src.version == 3
+
+
+# -- executor: kernels vs naive references -----------------------------------
+
+class TestKernels:
+    def test_bfs_levels_match_reference(self):
+        g = _image()
+        out = kernel_bfs(g, 0, None)
+        levels, parents = out["level"], out["parent"]
+        adj = g.out_adj()            # the kernel is a directed BFS
+        ref = {0: 0}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in adj[u]:
+                    if v not in ref:
+                        ref[v] = ref[u] + 1
+                        nxt.append(v)
+            frontier = nxt
+        assert levels == ref
+        for v, p in parents.items():
+            if v != 0:
+                assert levels[v] == levels[p] + 1
+
+    def test_cc_labels_are_component_minima(self):
+        g = _image()
+        comp = kernel_cc(g)["comp"]
+        for vid, label in comp.items():
+            assert comp[label] == label       # root labels itself
+            assert label <= vid
+
+    def test_kcore_matches_iterative_peeling(self):
+        g = _image()
+        core = kernel_kcore(g)["core"]
+        adj = g.und_adj()
+        # reference: coreness c(v) >= k iff v survives k-core peeling
+        for k in (1, 2, 3):
+            alive = set(adj)
+            changed = True
+            while changed:
+                changed = False
+                for v in list(alive):
+                    if sum(1 for u in adj[v] if u in alive) < k:
+                        alive.discard(v)
+                        changed = True
+            assert {v for v, c in core.items() if c >= k} == alive
+
+    def test_triangles_match_brute_force(self):
+        g = _image(scale=0.01)
+        tri = kernel_triangles(g)["tri"]
+        adj = {v: set(ns) for v, ns in g.und_adj().items()}
+        ref = {v: 0 for v in adj}
+        ids = sorted(adj)
+        for i, u in enumerate(ids):
+            for v in ids[i + 1:]:
+                if v not in adj[u]:
+                    continue
+                for w in ids:
+                    if w > v and w in adj[u] and w in adj[v]:
+                        ref[u] += 1
+                        ref[v] += 1
+                        ref[w] += 1
+        assert tri == ref
+
+    def test_degree_counts_directed_arcs(self):
+        g = _image()
+        deg = kernel_degree(g)
+        out_adj = g.out_adj()
+        for vid in g.ids:
+            assert deg["out_degree"][vid] == len(out_adj[vid])
+            assert deg["degree"][vid] == len(g.und_adj()[vid])
+
+    def test_sample_is_bottom_k_of_hash(self):
+        table = _run(f"from {DATASET} scale={SCALE} | sample 7 seed=3")
+        ids = [r[0] for r in table["rows"]]
+        everyone = [r[0] for r in
+                    _run(f"from {DATASET} scale={SCALE} | limit 100000")
+                    ["rows"]]
+        ranked = sorted(everyone, key=lambda v: sample_key(v, 3))[:7]
+        assert sorted(ranked) == ids       # output is id-ascending
+
+
+# -- distributed merge == local execution ------------------------------------
+
+class TestMergeEquivalence:
+    @pytest.mark.parametrize("q", query_template_pool(
+        ("twitter",), scale=SCALE))
+    def test_three_part_merge_matches_local(self, q):
+        plan = plan_pipeline(parse(q))
+        image = _image("twitter")
+        full = execute_plan(plan, image)
+        parts = [execute_plan(plan, image, part=(i, 3), partial=True)
+                 for i in range(3)]
+        assert merge_partials(plan, parts) == full
+
+    def test_merge_rejects_empty_and_mismatched(self):
+        plan = plan_pipeline(parse("from twitter | topk degree 3"))
+        with pytest.raises(QueryError):
+            merge_partials(plan, [])
+        a = execute_plan(plan, _image("twitter"), part=(0, 2),
+                         partial=True)
+        with pytest.raises(QueryError):
+            merge_partials(plan, [a, {"columns": ["id"], "rows": []}])
+
+
+# -- engine: caches and invalidation -----------------------------------------
+
+class TestEngine:
+    def test_plan_cache_hit_on_repeat(self):
+        eng = QueryEngine()
+        q = {"q": f"from {DATASET} scale={SCALE} | topk degree 5"}
+        first = eng.query(q)
+        second = eng.query(q)
+        assert first["plan_cached"] is False
+        assert second["plan_cached"] and second["result_cached"]
+        assert second["table"] == first["table"]
+        assert eng.stats()["plan_cache"]["hits"] >= 1
+
+    def test_head_bump_invalidates_plan_and_result(self):
+        from repro.dynamic.engine import DynamicEngine
+        dyn = DynamicEngine()
+        eng = QueryEngine(dyn)
+        q = {"q": f"from {DATASET} scale={SCALE} dynamic=true | cc "
+                  "| count"}
+        first = eng.query(q)
+        assert first["version"] == 0
+        cached = eng.query(q)
+        assert cached["result_cached"] is True
+        dyn.mutate({"dataset": DATASET, "scale": SCALE, "seed": 0,
+                    "ops": [{"op": "add_vertex", "vid": 10_000}]})
+        bumped = eng.query(q)
+        assert bumped["version"] == 1
+        assert bumped["result_cached"] is False
+        assert eng.stats()["plan_cache"]["invalidations"] >= 1
+        # the new vertex is isolated: one more component
+        assert bumped["table"]["rows"][0][0] == \
+            first["table"]["rows"][0][0] + 1
+
+    def test_version_pin_reads_old_snapshot(self):
+        from repro.dynamic.engine import DynamicEngine
+        dyn = DynamicEngine()
+        eng = QueryEngine(dyn)
+        base = f"from {DATASET} scale={SCALE}"
+        head0 = eng.query({"q": f"{base} dynamic=true | count"})
+        dyn.mutate({"dataset": DATASET, "scale": SCALE, "seed": 0,
+                    "ops": [{"op": "add_vertex", "vid": 10_001}]})
+        pinned = eng.query({"q": f"{base} version=0 | count"})
+        assert pinned["table"] == head0["table"]
+        head1 = eng.query({"q": f"{base} dynamic=true | count"})
+        assert head1["table"]["rows"][0][0] == \
+            head0["table"]["rows"][0][0] + 1
+
+    def test_unknown_params_rejected(self):
+        eng = QueryEngine()
+        with pytest.raises(BadRequest):
+            eng.query({"q": "from ldbc | count", "bogus": 1})
+        with pytest.raises(BadRequest):
+            eng.query({"q": "from ldbc | count", "part": [2, 2]})
+
+
+# -- wire: query/explain over a live service ---------------------------------
+
+class TestServiceQueries:
+    def test_query_and_explain_end_to_end(self):
+        service = GraphService(
+            pool_config=PoolConfig(size=2, isolation="inline"))
+        with ServiceThread(service) as st:
+            with ServiceClient(st.host, st.port) as client:
+                q = (f"from {DATASET} scale={SCALE} | bfs root=0 "
+                     "depth<=2 | topk degree 5")
+                result = client.query_lang(q)
+                assert result["rows"] == 5
+                assert result["table"]["columns"][0] == "id"
+                plan = client.explain(q)
+                assert plan["digest"] == result["plan"]
+                assert plan["merge"][-1] == "topk-final"
+                again = client.explain(q)
+                assert again == {**plan, "plan_cached": True}
+            stats = service.stats()["query"]
+            assert stats["queries"] == 1 and stats["explains"] == 2
+
+    def test_garbage_queries_never_crash_the_server(self):
+        service = GraphService(
+            pool_config=PoolConfig(size=2, isolation="inline"))
+        with ServiceThread(service) as st:
+            with ServiceClient(st.host, st.port) as client:
+                for bad in ("", "from", "from nosuch | count",
+                            "from ldbc | zap", "from ldbc | topk x 3",
+                            "from ldbc | count | count", "\x00\x01",
+                            "x" * 4999):
+                    with pytest.raises(QueryError):
+                        client.query_lang(bad)
+                # the connection and server both survived
+                assert client.ping()["protocol"] == 1
+                ok = client.query_lang(f"from {DATASET} scale={SCALE} "
+                                       "| limit 1")
+                assert ok["rows"] == 1
