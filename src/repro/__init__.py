@@ -27,7 +27,7 @@ from .core import (
     DataSource,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "EdgeNode", "Field", "PropertyGraph", "Schema", "Tracer", "Vertex",

@@ -230,6 +230,13 @@ def _build_service(args):
     chaos = (ChaosSpec(p_fault=args.chaos_rate, seed=args.chaos_seed,
                        kinds=("crash", "oom"))
              if args.chaos_rate > 0 else None)
+    governor = None
+    if getattr(args, "qos", False):
+        from .tenancy import QosConfig, TenantGovernor, TenantPolicy
+        governor = TenantGovernor(QosConfig(
+            default_policy=TenantPolicy(rate=args.qos_rate,
+                                        burst=args.qos_burst),
+            row_capacity=args.cache_size))
     return GraphService(
         pool_config=PoolConfig(size=args.workers,
                                isolation=args.isolation,
@@ -239,7 +246,7 @@ def _build_service(args):
                                          batching=not args.no_batch,
                                          batch_window_s=args.batch_window,
                                          caching=caching),
-        caches=caches, chaos=chaos)
+        caches=caches, chaos=chaos, governor=governor)
 
 
 def cmd_serve(args) -> int:
@@ -436,6 +443,19 @@ def _query_factory(args):
                              scale=args.scale, seed=0)
 
 
+def _stamp_tenants(plan, args):
+    """Apply --tenants/--tenant-skew: stamp a tenant identity onto every
+    request (a separate RNG stream, so the request content is unchanged
+    from the tenantless plan)."""
+    n = getattr(args, "tenants", 0) or 0
+    if n <= 0:
+        return plan
+    from .service.loadgen import assign_tenants
+    return assign_tenants(plan, n,
+                          skew=getattr(args, "tenant_skew", 0.0),
+                          seed=args.seed)
+
+
 def cmd_loadgen(args) -> int:
     from .obs import SpanTracer
     from .service import LoadGenerator, ServiceThread, schedule, workload_mix
@@ -451,6 +471,7 @@ def cmd_loadgen(args) -> int:
                     write_factory=_write_factory(args),
                     query_mix=getattr(args, "query_mix", 0.0),
                     query_factory=_query_factory(args))
+    plan = _stamp_tenants(plan, args)
     tracer = SpanTracer() if args.trace_out else None
     gen_args = dict(concurrency=args.concurrency, timeout_s=args.timeout,
                     deadline_s=getattr(args, "deadline", None),
@@ -681,6 +702,7 @@ def cmd_cluster_loadgen(args) -> int:
                     write_factory=_write_factory(args),
                     query_mix=getattr(args, "query_mix", 0.0),
                     query_factory=_query_factory(args))
+    plan = _stamp_tenants(plan, args)
     ring = spec.ring()
     imb_ds = plan_imbalance(plan, lambda d: d)
     imb_shard = plan_imbalance(plan, ring.owner)
@@ -883,6 +905,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="deterministic worker fault-injection "
                              "probability (testing)")
         sp.add_argument("--chaos-seed", type=int, default=0)
+        sp.add_argument("--qos", action="store_true",
+                        help="enable per-tenant QoS: admission quotas, "
+                             "weighted-fair scheduling, partitioned "
+                             "cache shares")
+        sp.add_argument("--qos-rate", type=float, default=200.0,
+                        help="per-tenant admission rate in req/s "
+                             "(default: 200)")
+        sp.add_argument("--qos-burst", type=float, default=50.0,
+                        help="per-tenant admission burst (default: 50)")
 
     sv = sub.add_parser(
         "serve",
@@ -998,6 +1029,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="Zipf exponent over the dataset mix (0 = "
                          "uniform); skews request volume toward the "
                          "first-listed datasets")
+    lg.add_argument("--tenants", type=int, default=0, metavar="N",
+                    help="stamp each request with one of N tenant "
+                         "identities (default: 0 — no tenant field on "
+                         "the wire)")
+    lg.add_argument("--tenant-skew", type=float, default=0.0,
+                    help="Zipf exponent over tenants (0 = uniform); "
+                         ">0 makes tenant-0 the noisy neighbour")
     lg.add_argument("--deadline", type=float, default=None,
                     metavar="SECONDS",
                     help="end-to-end deadline per request, propagated "
@@ -1156,6 +1194,11 @@ def build_parser() -> argparse.ArgumentParser:
     clg.add_argument("--dataset-skew", type=float, default=0.0,
                      help="Zipf exponent over the dataset mix "
                           "(0 = uniform)")
+    clg.add_argument("--tenants", type=int, default=0, metavar="N",
+                     help="stamp each request with one of N tenant "
+                          "identities (default: 0)")
+    clg.add_argument("--tenant-skew", type=float, default=0.0,
+                     help="Zipf exponent over tenants (0 = uniform)")
     clg.add_argument("--timeout", type=float, default=300.0)
     clg.add_argument("--deadline", type=float, default=None,
                      metavar="SECONDS",

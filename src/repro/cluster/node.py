@@ -19,14 +19,23 @@ metrics registry — plus three cluster behaviours:
 
 ``datasets=None`` means "owns everything" — a single-shard cluster (or
 a plain service promoted into one) needs no ownership list.
+
+Ownership is *live*: the ``admin`` op adopts or drops datasets while the
+shard serves, which is how a rebalance migrates keys without a restart.
+A drop may open a bounded **handoff window** during which requests for
+the dropped dataset are forwarded to the new owner instead of failing
+with ``WrongShard`` — the window absorbs routers acting on the old ring
+mid-swap, so clients never see a routing error for a key that moved.
 """
 
 from __future__ import annotations
 
+import asyncio
+import time
 from typing import Any
 
 from .. import __version__
-from ..core.errors import WrongShard
+from ..core.errors import BadRequest, WrongShard
 from ..service.protocol import DYNAMIC_OPS, PROTOCOL_VERSION, Request
 from ..service.server import GraphService
 
@@ -38,7 +47,12 @@ class ShardService(GraphService):
                  datasets: "frozenset[str] | None" = None, **kwargs: Any):
         super().__init__(**kwargs)
         self.shard_id = shard_id
-        self.datasets = None if datasets is None else frozenset(datasets)
+        # a plain set: adopt/drop mutate ownership on the event loop
+        self.datasets = None if datasets is None else set(datasets)
+        # dataset -> (host, port, expires_at): dropped keys forwarded to
+        # their new owner until the handoff window closes
+        self._forwards: dict[str, tuple[str, int, float]] = {}
+        self.forwarded = 0
         # known registry keys, cached: ownership rejection applies only
         # to datasets that exist — an unknown name falls through to the
         # server's BadRequest, which names the real mistake
@@ -47,6 +61,88 @@ class ShardService(GraphService):
 
     def owns(self, dataset: str) -> bool:
         return self.datasets is None or dataset in self.datasets
+
+    # -- live ownership (rebalance support) -----------------------------------
+
+    def _admin(self, params: dict[str, Any]) -> dict[str, Any]:
+        action = params.get("action")
+        if action == "ownership":
+            now = time.time()
+            return {"shard": self.shard_id,
+                    "datasets": (None if self.datasets is None
+                                 else sorted(self.datasets)),
+                    "forwards": {d: {"host": h, "port": p,
+                                     "expires_in_s":
+                                         round(max(0.0, e - now), 3)}
+                                 for d, (h, p, e)
+                                 in self._forwards.items()},
+                    "forwarded": self.forwarded}
+        dataset = params.get("dataset")
+        if not isinstance(dataset, str) or dataset not in self._known:
+            raise BadRequest(f"unknown dataset {dataset!r}")
+        if action == "adopt":
+            if self.datasets is not None:
+                self.datasets.add(dataset)
+            # adopting cancels any forward: the key is ours again
+            self._forwards.pop(dataset, None)
+            return {"shard": self.shard_id, "adopted": dataset,
+                    "datasets": (None if self.datasets is None
+                                 else sorted(self.datasets))}
+        if action == "drop":
+            if self.datasets is not None:
+                self.datasets.discard(dataset)
+            fwd = params.get("forward")
+            if isinstance(fwd, dict) \
+                    and "host" in fwd and "port" in fwd:
+                try:
+                    window_s = float(params.get("window_s", 5.0))
+                    target = (str(fwd["host"]), int(fwd["port"]),
+                              time.time() + window_s)
+                except (TypeError, ValueError) as e:
+                    raise BadRequest(f"bad forward spec: {e}") from None
+                self._forwards[dataset] = target
+            return {"shard": self.shard_id, "dropped": dataset,
+                    "forwarding": bool(self._forwards.get(dataset)),
+                    "datasets": (None if self.datasets is None
+                                 else sorted(self.datasets))}
+        raise BadRequest(f"admin action must be adopt, drop or "
+                         f"ownership, got {action!r}")
+
+    def _forward_target(self, dataset: str) -> "tuple[str, int] | None":
+        fw = self._forwards.get(dataset)
+        if fw is None:
+            return None
+        host, port, expires = fw
+        if time.time() >= expires:
+            del self._forwards[dataset]
+            return None
+        return host, port
+
+    async def _wrong_shard(self, req: Request, dataset: str) -> Any:
+        """A request for a dataset this shard no longer owns: forward it
+        inside the handoff window, raise ``WrongShard`` outside it."""
+        target = self._forward_target(dataset)
+        if target is None:
+            raise WrongShard(dataset, self.shard_id)
+        self.forwarded += 1
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._forward_blocking, req, target)
+
+    def _forward_blocking(self, req: Request,
+                          target: tuple[str, int]) -> Any:
+        from ..service.client import ServiceClient
+        host, port = target
+        budget = req.remaining()
+        timeout = budget if budget is not None and budget > 0 else 30.0
+        with ServiceClient(host, port, timeout_s=timeout,
+                           tenant=req.tenant) as peer:
+            result = peer.request(req.op, deadline_s=budget
+                                  if budget is not None and budget > 0
+                                  else None, **req.params)
+        if isinstance(result, dict):
+            result.setdefault("forwarded_by", self.shard_id)
+        return result
 
     def _query_dataset(self, q: Any) -> "str | None":
         """The known source dataset of a DSL query (None when the text
@@ -74,11 +170,14 @@ class ShardService(GraphService):
         if req.op == "shard_info":
             self.op_counts[req.op] = self.op_counts.get(req.op, 0) + 1
             return self.shard_info()
+        if req.op == "admin":
+            self.op_counts[req.op] = self.op_counts.get(req.op, 0) + 1
+            return self._admin(req.params)
         if req.op in ("run", "characterize") or req.op in DYNAMIC_OPS:
             dataset = req.params.get("dataset", "ldbc")
             if (isinstance(dataset, str) and dataset in self._known
                     and not self.owns(dataset)):
-                raise WrongShard(dataset, self.shard_id)
+                return await self._wrong_shard(req, dataset)
         if req.op in ("query", "explain") and "part" not in req.params:
             # an un-partitioned DSL query is keyed routing: it must land
             # on the source dataset's owner.  A part-request is the
@@ -87,7 +186,7 @@ class ShardService(GraphService):
             # what lets failed parts reassign to survivors.
             dataset = self._query_dataset(req.params.get("q"))
             if dataset is not None and not self.owns(dataset):
-                raise WrongShard(dataset, self.shard_id)
+                return await self._wrong_shard(req, dataset)
         result = await super()._dispatch(req)
         if req.op == "datasets" and self.datasets is not None:
             result = [row for row in result

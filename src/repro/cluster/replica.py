@@ -85,6 +85,12 @@ class ReplicaTracker:
             raise ValueError("tracker needs at least one shard")
         self._m_membership = None
 
+    def add_shard(self, name: str) -> None:
+        """Start tracking a shard joining a live topology (a spare
+        promoted by a rebalance); idempotent for known names."""
+        with self._lock:
+            self._shards.setdefault(name, ShardHealth(name))
+
     # -- observability -------------------------------------------------------
 
     def bind_metrics(self, registry) -> None:

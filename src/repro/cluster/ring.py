@@ -143,11 +143,27 @@ class RebalancePlan:
             out[new]["gained"] += 1
         return out
 
-    def summary(self) -> dict:
-        return {"before": list(self.before), "after": list(self.after),
-                "total_keys": self.total_keys, "moved": len(self.moved),
-                "fraction_moved": round(self.fraction_moved, 4),
-                "per_shard": self.per_shard()}
+    def summary(self, *, max_moved_keys: int = 20) -> dict:
+        """JSON-ready plan summary.
+
+        The per-key listing is capped at ``max_moved_keys`` entries
+        (sorted, so the sample is stable) with the overflow disclosed in
+        ``moved_keys_omitted`` — a synthetic-keyspace estimate can move
+        thousands of keys, and the summary is an operator artifact, not
+        a dump.
+        """
+        out = {"before": list(self.before), "after": list(self.after),
+               "total_keys": self.total_keys, "moved": len(self.moved),
+               "fraction_moved": round(self.fraction_moved, 4),
+               "per_shard": self.per_shard()}
+        listed = sorted(self.moved)[:max(0, max_moved_keys)]
+        out["moved_keys"] = {k: {"from": self.moved[k][0],
+                                 "to": self.moved[k][1]}
+                             for k in listed}
+        omitted = len(self.moved) - len(listed)
+        if omitted > 0:
+            out["moved_keys_omitted"] = omitted
+        return out
 
 
 def plan_rebalance(before: HashRing, after: HashRing,

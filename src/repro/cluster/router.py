@@ -234,11 +234,13 @@ class _ShardLink:
             writer.close()
 
     async def call(self, op: str, params: dict[str, Any],
-                   deadline: float | None = None) -> dict:
+                   deadline: float | None = None,
+                   tenant: str | None = None) -> dict:
         """One request/response exchange; returns the decoded frame.
 
-        The wire deadline (if any) propagates onto the downstream frame
-        so the shard's scheduler can shed expired work.  Raises
+        The wire deadline and tenant (if any) propagate onto the
+        downstream frame so the shard's scheduler can shed expired work
+        and charge the right quota.  Raises
         ``OSError``/``ProtocolError`` on transport trouble — the
         router's failover boundary.
         """
@@ -246,7 +248,8 @@ class _ShardLink:
         try:
             self._seq += 1
             writer.write(encode_request(op, f"{self.addr.name}-{self._seq}",
-                                        params, deadline=deadline))
+                                        params, deadline=deadline,
+                                        tenant=tenant))
             await writer.drain()
             line = await reader.readline()
             if not line:
@@ -300,9 +303,21 @@ class Router:
             max_retries=0, base_delay=0.01, factor=2.0, max_delay=0.25)
         self.tracker = ReplicaTracker(names, eject_after=eject_after)
         self.tracer = tracer
+        self.pool_per_shard = pool_per_shard
         self._links = {name: _ShardLink(self.shards[name],
                                         limit=pool_per_shard)
                        for name in names}
+        # -- live-rebalance state (mutated by the migration driver) ----------
+        # per-key keyed-read counts: the hotspot detector's attribution
+        # signal, and the rotation counter that spreads promoted reads
+        self.key_route_counts: dict[str, int] = {}
+        # key -> extra read-replica shard names beyond the ring owners
+        self._extra_replicas: dict[str, tuple[str, ...]] = {}
+        # keys whose writes are held while their state is being copied
+        self._paused_writes: set[str] = set()
+        # hard cap on how long one write waits on a pause — a wedged
+        # migration degrades to normal routing, never a hung client
+        self.pause_max_s = 10.0
         self.connections = 0
         self.op_counts: dict[str, int] = {}
         self._conn_tasks: set[asyncio.Task] = set()
@@ -487,14 +502,77 @@ class Router:
                             breaker.record_success()
         except asyncio.CancelledError:
             raise
+    # -- live topology (rebalance support) ------------------------------------
+
+    def add_shard(self, addr: ShardAddress) -> None:
+        """Join a shard to the live topology: link pool, tracker entry,
+        breaker.  The new shard serves nothing until a ring naming it is
+        installed — joining is the prerequisite, not the cutover.
+
+        Called from the migration driver's thread; each step is one
+        dict/attribute assignment, so in-flight dispatches see either
+        the old or the new membership, never a torn state.
+        """
+        if addr.name in self.shards:
+            return
+        self._links[addr.name] = _ShardLink(addr,
+                                            limit=self.pool_per_shard)
+        self.tracker.add_shard(addr.name)
+        rel = self.reliability
+        if rel.enabled:
+            self.breakers[addr.name] = CircuitBreaker(
+                addr.name,
+                failure_threshold=rel.breaker_failure_threshold,
+                reset_timeout_s=rel.breaker_reset_timeout_s,
+                backoff_factor=rel.breaker_backoff_factor,
+                max_reset_timeout_s=rel.breaker_max_reset_timeout_s,
+                on_transition=self._on_breaker_transition)
+        self.shards[addr.name] = addr
+        log.info("shard %s joined the topology (%d shards)", addr.name,
+                 len(self.shards), extra={"shard": addr.name})
+
+    def install_ring(self, ring: HashRing) -> None:
+        """Atomically swap the ownership ring — the rebalance cutover.
+
+        One attribute assignment: every dispatch after it routes on the
+        new ownership, every dispatch before it routed on the old.  All
+        shards the new ring names must already have joined via
+        :meth:`add_shard`.
+        """
+        missing = sorted(set(ring.nodes) - set(self.shards))
+        if missing:
+            raise ValueError(f"ring names unjoined shard(s): "
+                             f"{', '.join(missing)}")
+        self.ring = ring
+        log.info("installed new ring over %d shards", len(ring.nodes))
+
+    def pause_writes(self, keys) -> None:
+        """Hold writes for ``keys`` (the copy phase of a migration);
+        paused writes wait rather than fail, up to ``pause_max_s``."""
+        self._paused_writes.update(keys)
+
+    def resume_writes(self, keys) -> None:
+        self._paused_writes.difference_update(keys)
+
+    def promote_replicas(self, key: str, shards: Sequence[str]) -> None:
+        """Serve ``key``'s keyed reads from extra replicas beyond the
+        ring owners (hot-shard relief); reads rotate across the widened
+        chain and writes fan to the extras so they stay fresh."""
+        self._extra_replicas[key] = tuple(shards)
+
+    def demote_replicas(self, key: str) -> None:
+        self._extra_replicas.pop(key, None)
+
     # -- shard exchanges -----------------------------------------------------
 
     async def _call(self, name: str, op: str,
                     params: dict[str, Any],
                     timeout_s: float | None = None,
-                    deadline: float | None = None) -> dict:
+                    deadline: float | None = None,
+                    tenant: str | None = None) -> dict:
         frame = await asyncio.wait_for(
-            self._links[name].call(op, params, deadline=deadline),
+            self._links[name].call(op, params, deadline=deadline,
+                                   tenant=tenant),
             timeout_s or self.attempt_timeout_s)
         return frame
 
@@ -636,7 +714,8 @@ class Router:
         t0 = time.perf_counter()
         try:
             frame = await self._call(shard, req.op, req.params, timeout,
-                                     deadline=req.deadline)
+                                     deadline=req.deadline,
+                                     tenant=req.tenant)
         except _TRANSPORT_ERRORS as e:
             self._note_transport_failure(shard, key, e)
             return None
@@ -662,7 +741,8 @@ class Router:
         tasks: dict[asyncio.Task, str] = {
             loop.create_task(self._call(primary, req.op, req.params,
                                         timeout,
-                                        deadline=req.deadline)): primary}
+                                        deadline=req.deadline,
+                                        tenant=req.tenant)): primary}
         hedge_armed = True
         winner: _Answered | None = None
         while tasks:
@@ -686,7 +766,8 @@ class Router:
                 tasks[loop.create_task(self._call(
                     backup, req.op, req.params,
                     self._attempt_timeout(remaining, 1 + len(pending)),
-                    deadline=req.deadline))] = backup
+                    deadline=req.deadline,
+                    tenant=req.tenant))] = backup
                 continue
             for task in done:
                 shard = tasks.pop(task)
@@ -746,6 +827,7 @@ class Router:
         a lagging replica serves *older* versions, never wrong ones,
         and the disclosure is what the staleness bound is measured from.
         """
+        await self._await_writable(req, key, span_args)
         primary = replicas[0]
         span_args["replicas"] = list(replicas)
         span_args["primary"] = primary
@@ -762,20 +844,41 @@ class Router:
         timeout = self._attempt_timeout(remaining, 1)
         try:
             frame = await self._call(primary, req.op, req.params,
-                                     timeout, deadline=req.deadline)
+                                     timeout, deadline=req.deadline,
+                                     tenant=req.tenant)
         except _TRANSPORT_ERRORS as e:
             self._note_transport_failure(primary, key, e)
             span_args["outcome"] = "unavailable"
             raise ShardUnavailable(key, tried=(primary,)) from e
         result = self._finish_frame(req, key, primary, frame, "ok",
                                     span_args)
-        if self.replication > 1 and isinstance(result, dict):
+        if len(replicas) > 1 and isinstance(result, dict):
             replicated, failures = await self._replicate_write(
                 req, key, [s for s in replicas if s != primary])
             result["replicated"] = replicated
             result["replica_failures"] = failures
             span_args["replicated"] = len(replicated)
         return result
+
+    async def _await_writable(self, req: Request, key: str,
+                              span_args: dict) -> None:
+        """Hold a write while its key's state is being copied (the
+        migration's pause window); bounded by ``pause_max_s`` so a
+        wedged migration degrades to normal routing."""
+        if key not in self._paused_writes:
+            return
+        span_args["write_paused"] = True
+        t0 = time.monotonic()
+        while key in self._paused_writes:
+            if time.monotonic() - t0 > self.pause_max_s:
+                log.warning("write pause for %s exceeded %.1fs; "
+                            "proceeding", key, self.pause_max_s,
+                            extra={"key": key})
+                break
+            remaining = self._remaining(req)
+            if remaining is not None and remaining <= 0:
+                self._shed(key, span_args, -remaining)
+            await asyncio.sleep(0.01)
 
     async def _replicate_write(self, req: Request, key: str,
                                backups: Sequence[str]
@@ -792,7 +895,8 @@ class Router:
             try:
                 frame = await self._call(shard, req.op, req.params,
                                          self.fanout_timeout_s,
-                                         deadline=req.deadline)
+                                         deadline=req.deadline,
+                                         tenant=req.tenant)
             except _TRANSPORT_ERRORS as e:
                 self._note_transport_failure(shard, key, e)
                 return shard, False
@@ -914,6 +1018,31 @@ class Router:
                              f"got {dataset!r}")
         return dataset
 
+    def _read_replicas(self, key: str) -> list[str]:
+        """The keyed-read chain: ring owners, widened by any promoted
+        extras and rotated so promoted reads spread instead of still
+        landing on the hot primary.  Also ticks the per-key route count
+        the hotspot detector attributes load with."""
+        replicas = list(self.ring.owners(key, self.replication))
+        n = self.key_route_counts.get(key, 0) + 1
+        self.key_route_counts[key] = n
+        extra = self._extra_replicas.get(key)
+        if extra:
+            replicas += [s for s in extra
+                         if s not in replicas and s in self.shards]
+            i = n % len(replicas)
+            replicas = replicas[i:] + replicas[:i]
+        return replicas
+
+    def _write_replicas(self, key: str) -> list[str]:
+        """The write chain: the ring primary leads (promotion never
+        moves the write point), extras ride the replica fan-out so a
+        promoted read replica keeps receiving the mutation stream."""
+        replicas = list(self.ring.owners(key, self.replication))
+        replicas += [s for s in self._extra_replicas.get(key, ())
+                     if s not in replicas and s in self.shards]
+        return replicas
+
     async def _dispatch(self, req: Request) -> Any:
         self.op_counts[req.op] = self.op_counts.get(req.op, 0) + 1
         with maybe_span(self.tracer, f"route:{req.op}") as span_args:
@@ -955,12 +1084,12 @@ class Router:
             # land on a replica whose mutation stream lags, and the
             # first-answer-wins race would hide which version answered
             key = self._routing_key(req.params)
-            replicas = self.ring.owners(key, self.replication)
+            replicas = self._read_replicas(key)
             return await self._route_keyed(req, key, replicas,
                                            span_args)
         if req.op in WRITE_OPS:
             key = self._routing_key(req.params)
-            replicas = self.ring.owners(key, self.replication)
+            replicas = self._write_replicas(key)
             return await self._route_write(req, key, replicas,
                                            span_args)
         if req.op in ("query", "explain"):
@@ -1031,6 +1160,13 @@ class Router:
                 "ring": {"shards": list(self.ring.nodes),
                          "vnodes": self.ring.vnodes,
                          "replication": self.replication},
+                "rebalance": {
+                    "paused_writes": sorted(self._paused_writes),
+                    "extra_replicas": {k: list(v) for k, v in
+                                       sorted(self._extra_replicas
+                                              .items())},
+                    "key_routes": dict(sorted(
+                        self.key_route_counts.items()))},
                 "health": self.tracker.snapshot(),
                 "reliability": self.reliability_snapshot(),
                 "query": {"plan_cache":
@@ -1068,11 +1204,11 @@ class Router:
                                              f"{op!r}"}}
             params = entry.get("params") or {}
             sub = Request(op=op, id=req.id, params=params,
-                          deadline=req.deadline)
+                          deadline=req.deadline, tenant=req.tenant)
             sub_span: dict[str, Any] = {}
             try:
                 key = self._routing_key(params)
-                replicas = self.ring.owners(key, self.replication)
+                replicas = self._read_replicas(key)
                 result = await self._route_keyed(sub, key, replicas,
                                                  sub_span)
             except Exception as e:  # noqa: BLE001 — per-entry, in-band
@@ -1125,7 +1261,7 @@ class Router:
         source = source_info(pipeline)
         if source.dynamic:
             span_args["mode"] = "keyed"
-            replicas = self.ring.owners(source.dataset, self.replication)
+            replicas = self._read_replicas(source.dataset)
             return await self._route_keyed(req, source.dataset,
                                            replicas, span_args)
         digest = plan_digest(canonical)
@@ -1163,7 +1299,8 @@ class Router:
             try:
                 frame = await self._call(shard, "query", params,
                                          self.fanout_timeout_s,
-                                         deadline=req.deadline)
+                                         deadline=req.deadline,
+                                         tenant=req.tenant)
             except _TRANSPORT_ERRORS as e:
                 self._note_transport_failure(shard, f"_query:{index}", e)
                 return index, shard, None, None

@@ -199,6 +199,29 @@ class AdmissionRejected(ServiceError):
         self.limit = limit
 
 
+class QuotaExceeded(ServiceError):
+    """A tenant spent its admission quota — per-tenant backpressure.
+
+    Distinct from :class:`AdmissionRejected` (the *global* queue bound):
+    the server had capacity, but this tenant's token bucket or fair-share
+    queue was at its limit, so the request is shed to protect the other
+    tenants.  Retryable after ``retry_after_s`` (the bucket refills at
+    the tenant's provisioned rate).
+    """
+
+    kind = "quota-exceeded"
+
+    def __init__(self, tenant: str, reason: str = "rate",
+                 retry_after_s: float = 0.0):
+        detail = f"; retry after {retry_after_s:.2f}s" \
+            if retry_after_s > 0 else ""
+        super().__init__(f"tenant {tenant!r} exceeded its {reason} "
+                         f"quota{detail}")
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
 class WrongShard(ServiceError):
     """A shard received a single-dataset request for a dataset it does
     not own — a routing bug (stale ring, misconfigured topology), never

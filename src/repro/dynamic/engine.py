@@ -186,6 +186,72 @@ class DynamicEngine:
                            version=kernel.version)
             return dict(response, served=served)
 
+    # -- migration (export / import) -----------------------------------------
+
+    def export_dataset(self, params: dict[str, Any]) -> dict[str, Any]:
+        """``dyn_export``: every mutated store for one dataset, as
+        JSON-safe head-version state.
+
+        Unmutated identities are omitted — the importer regenerates the
+        deterministic base on first touch, so only divergence from the
+        base needs to travel.  Frames stay under ``MAX_FRAME_BYTES`` at
+        the scales the service generates; a store too large to frame is
+        a protocol error the caller sees, not silent truncation.
+        """
+        from ..datagen.registry import REGISTRY
+        dataset = params.get("dataset", "ldbc")
+        if not isinstance(dataset, str) or dataset not in REGISTRY:
+            raise BadRequest(f"unknown dataset {dataset!r}; choose from "
+                             f"{', '.join(sorted(REGISTRY))}")
+        with self._lock:
+            matched = [(key, store)
+                       for key, store in self._stores.items()
+                       if key[1] == dataset and store.head > 0]
+        stores = [{"scale": key[2], "seed": key[3],
+                   "state": store.export_state()}
+                  for key, store in matched]
+        return {"dataset": dataset, "stores": stores,
+                "served": "export"}
+
+    def import_dataset(self, params: dict[str, Any]) -> dict[str, Any]:
+        """``dyn_import``: install exported stores, replacing any local
+        state for the same identities and dropping the incremental
+        kernels built against the replaced stores (cached query results
+        are version-keyed and invalidate on the next commit)."""
+        from ..datagen.registry import REGISTRY
+        dataset = params.get("dataset", "ldbc")
+        if not isinstance(dataset, str) or dataset not in REGISTRY:
+            raise BadRequest(f"unknown dataset {dataset!r}; choose from "
+                             f"{', '.join(sorted(REGISTRY))}")
+        entries = params.get("stores")
+        if not isinstance(entries, list):
+            raise BadRequest("import requires a 'stores' list")
+        installed = []
+        for entry in entries:
+            if not isinstance(entry, dict) \
+                    or not isinstance(entry.get("state"), dict):
+                raise BadRequest("each store entry needs a 'state' "
+                                 "object")
+            try:
+                scale = float(entry.get("scale", 0.05))
+                seed = int(entry.get("seed", 0))
+            except (TypeError, ValueError) as e:
+                raise BadRequest(f"bad store identity: {e}") from None
+            key = dynamic_key(dataset, scale, seed)
+            store = SnapshotStore.from_state(entry["state"])
+            with self._lock:
+                self._stores[key] = store
+                self._store_locks.setdefault(key, threading.Lock())
+                for kkey in [k for k in self._kernels
+                             if k[:len(key)] == key]:
+                    del self._kernels[kkey]
+            installed.append({"scale": scale, "seed": seed,
+                              "version": store.head,
+                              "n_vertices": store.n_vertices,
+                              "n_arcs": store.n_arcs})
+        return {"dataset": dataset, "installed": installed,
+                "served": "import"}
+
     # -- observability -------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:

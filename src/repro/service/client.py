@@ -47,10 +47,15 @@ class ServiceClient:
     """Synchronous connection to a :class:`~repro.service.server.GraphService`."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
-                 *, timeout_s: float | None = 300.0):
+                 *, timeout_s: float | None = 300.0,
+                 tenant: str | None = None):
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        #: optional tenant identity stamped on every request frame —
+        #: ``None`` keeps the frames byte-identical to a pre-tenancy
+        #: client's
+        self.tenant = tenant
         self._sock: socket.socket | None = None
         self._buf = bytearray()
         self._seq = 0
@@ -145,7 +150,8 @@ class ServiceClient:
         self._seq += 1
         req_id = f"c{self._seq}"
         payload = encode_request(op, req_id, params,
-                                 deadline=wire_deadline)
+                                 deadline=wire_deadline,
+                                 tenant=self.tenant)
         try:
             self._arm(deadline, budget, t0)
             self._sock.sendall(payload)

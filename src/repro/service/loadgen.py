@@ -25,7 +25,8 @@ from __future__ import annotations
 import random
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from itertools import accumulate
 from typing import Any, Callable, Sequence
 
 from ..core.errors import GraphError
@@ -41,10 +42,16 @@ CONNECTION_FAILURE_KIND = "connection"
 
 @dataclass(frozen=True)
 class Query:
-    """One request template in the mix."""
+    """One request template in the mix.
+
+    ``tenant`` rides in the request frame when set (see
+    :func:`assign_tenants`); ``None`` keeps the frame byte-identical to
+    a tenantless request.
+    """
 
     op: str                              # "run" | "characterize"
     params: dict[str, Any] = field(default_factory=dict)
+    tenant: str | None = None
 
 
 def workload_mix(workloads: Sequence[str] = ("BFS", "CComp", "kCore"),
@@ -120,11 +127,17 @@ def schedule(mix: Sequence[Query], n_requests: int,
             groups.setdefault(str(q.params.get("dataset", "ldbc")),
                               []).append(q)
         names = list(groups)
-        weights = [1.0 / (rank + 1) ** dataset_skew
-                   for rank in range(len(names))]
+        # cumulative weights precomputed once: ``choices(weights=...)``
+        # re-accumulates the weight list on every draw, which is O(k)
+        # avoidable work inside the hot sampling loop.  The draw stream
+        # is unchanged — choices() consumes the same random() values
+        # whether handed raw or cumulative weights.
+        cum_weights = list(accumulate(
+            1.0 / (rank + 1) ** dataset_skew
+            for rank in range(len(names))))
 
         def draw_read() -> Query:
-            dataset = rng.choices(names, weights=weights)[0]
+            dataset = rng.choices(names, cum_weights=cum_weights)[0]
             pool = groups[dataset]
             return pool[rng.randrange(len(pool))]
 
@@ -139,6 +152,36 @@ def schedule(mix: Sequence[Query], n_requests: int,
             return query_factory(rng)
         return draw_read()
     return [draw_slot() for _ in range(n_requests)]
+
+
+def assign_tenants(plan: Sequence[Query], n_tenants: int, *,
+                   skew: float = 0.0, seed: int = 0,
+                   prefix: str = "tenant") -> list[Query]:
+    """Stamp a tenant identity onto every request in a plan.
+
+    Tenants are drawn from their own RNG stream
+    (``Random(f"tenants:{seed}")``), so stamping tenants onto an
+    existing plan never perturbs the read/write draw sequence — the
+    requests' *content* stays byte-identical, only the ``tenant`` frame
+    field appears.  ``skew <= 0`` spreads requests uniformly;
+    ``skew > 0`` draws the tenant Zipf-style (weight
+    ``1/(rank+1)^skew``), which is the noisy-neighbour regime the QoS
+    isolation bench measures: tenant 0 dominates the request stream.
+    """
+    if n_tenants < 1:
+        raise ValueError("n_tenants must be >= 1")
+    rng = random.Random(f"tenants:{seed}")
+    names = [f"{prefix}-{i}" for i in range(n_tenants)]
+    if skew <= 0:
+        def draw() -> str:
+            return names[rng.randrange(n_tenants)]
+    else:
+        cum_weights = list(accumulate(
+            1.0 / (rank + 1) ** skew for rank in range(n_tenants)))
+
+        def draw() -> str:
+            return rng.choices(names, cum_weights=cum_weights)[0]
+    return [replace(q, tenant=draw()) for q in plan]
 
 
 def churn_write_factory(dataset: str, n_vertices: int, *,
@@ -216,6 +259,13 @@ class LoadReport:
     # worst (max committed write version seen) - (read's answered
     # version) over the run: the measured staleness bound in versions
     max_version_lag: int = 0
+    # tenant -> that tenant's successful-request latencies (sorted);
+    # populated only when the plan carries tenant identities
+    tenant_latencies_ms: dict[str, list[float]] = field(
+        default_factory=dict)
+    # tenant -> failure-kind -> count (quota rejections land here)
+    tenant_failures: dict[str, dict[str, int]] = field(
+        default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -261,6 +311,15 @@ class LoadReport:
         if self.query_latencies_ms:
             out["query_latency_ms"] = self._lat_summary(
                 self.query_latencies_ms)
+        if self.tenant_latencies_ms or self.tenant_failures:
+            tenants = sorted(set(self.tenant_latencies_ms)
+                             | set(self.tenant_failures))
+            out["per_tenant"] = {
+                t: {"ok": len(self.tenant_latencies_ms.get(t, [])),
+                    "latency_ms": self._lat_summary(
+                        self.tenant_latencies_ms.get(t, [])),
+                    "failures": dict(self.tenant_failures.get(t, {}))}
+                for t in tenants}
         return out
 
     def format(self) -> str:
@@ -285,6 +344,12 @@ class LoadReport:
             q = s["query_latency_ms"]
             lines.append(f"query ms     p50={q['p50']} p95={q['p95']} "
                          f"p99={q['p99']} max={q['max']}")
+        for t, row in s.get("per_tenant", {}).items():
+            lat_t = row["latency_ms"]
+            extra = (f" failures={row['failures']}"
+                     if row["failures"] else "")
+            lines.append(f"{t:<12} ok={row['ok']} p50={lat_t['p50']} "
+                         f"p99={lat_t['p99']}{extra}")
         if self.degraded:
             lines.append(f"degraded     {self.degraded} "
                          f"(max staleness {s['max_staleness_s']}s)")
@@ -339,10 +404,16 @@ class LoadGenerator:
         max_committed = [0]
         max_lag = [0]
 
-        def record_failure(kind: str) -> None:
+        tenant_lat: dict[str, list[float]] = {}
+        tenant_fail: dict[str, dict[str, int]] = {}
+
+        def record_failure(kind: str, tenant: str | None) -> None:
             with lock:
                 fail_count[0] += 1
                 failures[kind] = failures.get(kind, 0) + 1
+                if tenant is not None:
+                    by_kind = tenant_fail.setdefault(tenant, {})
+                    by_kind[kind] = by_kind.get(kind, 0) + 1
 
         def worker() -> None:
             client = self._make_client()
@@ -352,6 +423,10 @@ class LoadGenerator:
                         query = next(cursor, None)
                     if query is None:
                         return
+                    if query.tenant is not None:
+                        # one connection serves whichever tenant drew
+                        # this slot; the identity travels per-frame
+                        client.tenant = query.tenant
                     t0 = time.perf_counter()
                     with maybe_span(self.tracer, f"request:{query.op}",
                                     **query.params) as span_args:
@@ -362,14 +437,15 @@ class LoadGenerator:
                         except GraphError as e:
                             kind = getattr(e, "kind", "internal")
                             span_args["failed"] = kind
-                            record_failure(kind)
+                            record_failure(kind, query.tenant)
                             continue
                         except OSError:
                             # dropped/refused/reset connection: the
                             # request failed, the worker must not — count
                             # it and reconnect for the rest of the plan
                             span_args["failed"] = CONNECTION_FAILURE_KIND
-                            record_failure(CONNECTION_FAILURE_KIND)
+                            record_failure(CONNECTION_FAILURE_KIND,
+                                           query.tenant)
                             client.close()
                             client = self._make_client()
                             continue
@@ -390,6 +466,9 @@ class LoadGenerator:
                         (write_latencies if is_write
                          else query_latencies if is_query
                          else read_latencies).append(dt_ms)
+                        if query.tenant is not None:
+                            tenant_lat.setdefault(query.tenant,
+                                                  []).append(dt_ms)
                         served[how] = served.get(how, 0) + 1
                         if isinstance(version, int):
                             if is_write:
@@ -419,6 +498,8 @@ class LoadGenerator:
         read_latencies.sort()
         write_latencies.sort()
         query_latencies.sort()
+        for lat in tenant_lat.values():
+            lat.sort()
         return LoadReport(requests=len(plan), ok=ok_count[0],
                           failed=fail_count[0],
                           failures_by_kind=failures, elapsed_s=elapsed,
@@ -428,4 +509,6 @@ class LoadGenerator:
                           read_latencies_ms=read_latencies,
                           write_latencies_ms=write_latencies,
                           query_latencies_ms=query_latencies,
-                          max_version_lag=max_lag[0])
+                          max_version_lag=max_lag[0],
+                          tenant_latencies_ms=tenant_lat,
+                          tenant_failures=tenant_fail)

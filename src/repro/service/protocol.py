@@ -35,6 +35,7 @@ from ..core.errors import (
     PlanError,
     ProtocolError,
     QueryError,
+    QuotaExceeded,
     RemoteError,
     RetryBudgetExhausted,
     ShardUnavailable,
@@ -57,7 +58,8 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 OPS = ("ping", "run", "characterize", "datasets", "workloads", "stats",
        "health", "shard_info", "batch",
        "mutate", "add_vertex", "del_vertex", "add_edge", "del_edge",
-       "set_prop", "dyn_query", "query", "explain")
+       "set_prop", "dyn_query", "query", "explain",
+       "admin", "dyn_export", "dyn_import")
 
 #: The dynamic-graph write vocabulary: ``mutate`` carries a batch of
 #: ops; the rest are single-op conveniences (one op, flat params).
@@ -76,6 +78,13 @@ DYNAMIC_OPS = WRITE_OPS | {"dyn_query"}
 #: without executing anything.
 QUERY_OPS = frozenset({"query", "explain"})
 
+#: Cluster-management ops: ``admin`` reconfigures a shard's ownership
+#: (adopt/drop/forward) during a live rebalance; ``dyn_export`` /
+#: ``dyn_import`` ship a dynamic dataset's head-version state between
+#: shards over the ordinary wire.  A plain single-node service rejects
+#: them like any other op it does not serve.
+ADMIN_OPS = frozenset({"admin", "dyn_export", "dyn_import"})
+
 
 @dataclass(frozen=True)
 class Request:
@@ -87,12 +96,20 @@ class Request:
     the caller set no budget.  The deadline *propagates*: the router
     copies it onto every downstream shard frame, so a shard can shed
     work whose requester has already given up.
+
+    ``tenant`` is the optional multi-tenancy identity the QoS layer
+    keys quotas, fair shares, and cache partitions on.  ``None`` means
+    anonymous — such requests travel byte-identically to the pre-tenancy
+    protocol and are treated as one shared default tenant.  Like the
+    deadline, the tenant propagates: the router copies it onto every
+    downstream shard frame.
     """
 
     op: str
     id: str
     params: dict[str, Any] = field(default_factory=dict)
     deadline: float | None = None
+    tenant: str | None = None
 
     def remaining(self, now: float | None = None) -> float | None:
         """Seconds of budget left (negative when expired); None if
@@ -119,11 +136,14 @@ def _frame(obj: dict[str, Any]) -> bytes:
 
 def encode_request(op: str, req_id: str,
                    params: dict[str, Any] | None = None, *,
-                   deadline: float | None = None) -> bytes:
+                   deadline: float | None = None,
+                   tenant: str | None = None) -> bytes:
     frame = {"v": PROTOCOL_VERSION, "id": req_id, "op": op,
              "params": params or {}}
     if deadline is not None:
         frame["deadline"] = float(deadline)
+    if tenant is not None:
+        frame["tenant"] = str(tenant)
     return _frame(frame)
 
 
@@ -186,7 +206,13 @@ def parse_request(frame: dict[str, Any]) -> Request:
             raise ProtocolError(f"deadline is {type(deadline).__name__}, "
                                 "expected epoch seconds")
         deadline = float(deadline)
-    return Request(op=op, id=req_id, params=params, deadline=deadline)
+    tenant = frame.get("tenant")
+    if tenant is not None:
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError(f"tenant is {type(tenant).__name__}, "
+                                "expected non-empty string")
+    return Request(op=op, id=req_id, params=params, deadline=deadline,
+                   tenant=tenant)
 
 
 # -- error payloads ----------------------------------------------------------
@@ -212,6 +238,14 @@ def error_to_payload(exc: BaseException) -> dict[str, str]:
     shard = getattr(exc, "shard", None)
     if isinstance(shard, str) and shard and shard != "?":
         payload["shard"] = shard
+    # quota rejections keep their machine-readable backoff hint — the
+    # client retries after the tenant's bucket refills, not blindly
+    retry_after = getattr(exc, "retry_after_s", None)
+    if isinstance(retry_after, (int, float)) and retry_after > 0:
+        payload["retry_after_s"] = round(float(retry_after), 4)
+    tenant = getattr(exc, "tenant", None)
+    if isinstance(tenant, str) and tenant and tenant != "?":
+        payload["tenant"] = tenant
     return payload
 
 
@@ -239,6 +273,15 @@ def _rehydrate(payload: dict[str, Any]) -> GraphError:
     remote_type = str(payload.get("type", ""))
     if kind == AdmissionRejected.kind:
         err = AdmissionRejected(0, 0)
+        err.args = (message,)
+        return err
+    if kind == QuotaExceeded.kind:
+        tenant = payload.get("tenant")
+        retry_after = payload.get("retry_after_s")
+        err = QuotaExceeded(
+            tenant if isinstance(tenant, str) and tenant else "?",
+            retry_after_s=float(retry_after)
+            if isinstance(retry_after, (int, float)) else 0.0)
         err.args = (message,)
         return err
     if kind == ProtocolError.kind:

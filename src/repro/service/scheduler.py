@@ -128,11 +128,15 @@ class Scheduler:
     """Admission-controlled, coalescing dispatcher over a worker pool."""
 
     def __init__(self, pool: WorkerPool, caches: CacheTiers | None = None,
-                 config: SchedulerConfig | None = None):
+                 config: SchedulerConfig | None = None, *,
+                 governor=None):
         self.pool = pool
         self.caches = caches
         self.config = config or SchedulerConfig()
         self.stats = SchedulerStats()
+        #: optional :class:`~repro.tenancy.qos.TenantGovernor`; when
+        #: absent, submit() follows the single-tenant path unchanged
+        self.governor = governor
         self._inflight: dict[str, _Batch] = {}
         self._pending = 0
         self._tasks: set[asyncio.Task] = set()
@@ -177,7 +181,8 @@ class Scheduler:
         raise DeadlineExceeded("scheduler", overshoot, 0.0)
 
     async def submit(self, cell: Cell,
-                     deadline: float | None = None) -> dict:
+                     deadline: float | None = None,
+                     tenant: str | None = None) -> dict:
         """Resolve one request: cache tier, coalesce, or execute.
 
         Returns the flat row record (annotated with ``served``:
@@ -187,13 +192,31 @@ class Scheduler:
         :class:`DeadlineExceeded` when ``deadline`` (absolute epoch
         seconds) lapsed before the work could be served — expired work
         is *shed*, never executed.
+
+        With a governor configured, ``tenant`` is charged the admission
+        token, reads and fills go through the tenant's cache partition
+        (when it has one), and the execution holds a weighted-fair slot
+        for its duration — :class:`~repro.core.errors.QuotaExceeded`
+        surfaces when the tenant is over its rate or queue quota.
+        Coalescing stays global: joining another tenant's in-flight
+        execution is free capacity, not a leak, because the result is
+        identical by construction.
         """
         self.stats.submitted += 1
         key = row_key(cell)
         if deadline is not None and time.time() >= deadline:
             self._shed(key, deadline, time.time())
-        if self.config.caching and self.caches is not None:
-            record = self.caches.rows.get(key)
+        gov = self.governor
+        rows = self.caches.rows if self.caches is not None else None
+        tname = None
+        if gov is not None:
+            tname = gov.resolve(tenant)
+            gov.admit(tname)
+            part = gov.cache_for(tname)
+            if part is not None:
+                rows = part
+        if self.config.caching and rows is not None:
+            record = rows.get(key)
             if record is not None:
                 self.stats.cache_hits += 1
                 return dict(record, served="cache")
@@ -209,12 +232,21 @@ class Scheduler:
                         key, self._pending, self.config.max_pending,
                         extra={"cell": key, "pending": self._pending})
             raise AdmissionRejected(self._pending, self.config.max_pending)
+        if gov is not None:
+            await gov.acquire_slot(tname)
+            if deadline is not None and time.time() >= deadline:
+                gov.release_slot()
+                self._shed(key, deadline, time.time())
         batch = _Batch(cell)
         self._inflight[key] = batch
         self._pending += 1
         fut = batch.join(deadline)
         task = asyncio.get_running_loop().create_task(
-            self._execute(key, batch))
+            self._execute(key, batch, fill=rows))
+        if gov is not None:
+            # the slot covers the whole execution (including the batch
+            # window), released exactly once when the task settles
+            task.add_done_callback(lambda _t: gov.release_slot())
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
         record = await fut
@@ -222,20 +254,21 @@ class Scheduler:
             record["served"] = "executed"
         return record
 
-    def _stale_record(self, key: str) -> dict | None:
+    def _stale_record(self, key: str, rows) -> dict | None:
         """Degraded fallback: an expired-but-present row within the
         staleness cap, marked so the client knows what it got."""
         if not (self.config.serve_stale and self.config.caching
-                and self.caches is not None):
+                and rows is not None):
             return None
-        stale = self.caches.rows.get_stale(key, self.config.stale_cap_s)
+        stale = rows.get_stale(key, self.config.stale_cap_s)
         if stale is None:
             return None
         record, age = stale
         return dict(record, degraded=True, staleness_s=round(age, 3),
                     served="stale")
 
-    async def _execute(self, key: str, batch: _Batch) -> None:
+    async def _execute(self, key: str, batch: _Batch,
+                       fill=None) -> None:
         if self.config.batch_window_s > 0:
             await asyncio.sleep(self.config.batch_window_s)
         now = time.time()
@@ -265,7 +298,7 @@ class Scheduler:
                 # degraded serving: a stale answer with a disclosed age
                 # beats an error while the backend is failing — but only
                 # for *execution* failures, never for sheds or cancels
-                stale = self._stale_record(key)
+                stale = self._stale_record(key, fill)
             if stale is not None:
                 self.stats.degraded += 1
                 log.info("served stale row for %s (age %.3fs)", key,
@@ -284,8 +317,8 @@ class Scheduler:
         # cache) instead of joining a finished batch
         self._inflight.pop(key, None)
         self._pending -= 1
-        if self.config.caching and self.caches is not None:
-            self.caches.rows.put(key, dict(record))
+        if self.config.caching and fill is not None:
+            fill.put(key, dict(record))
         batch.resolve(record)
 
     async def drain(self) -> None:

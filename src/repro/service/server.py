@@ -122,7 +122,8 @@ class GraphService:
                  caches: CacheTiers | None = None,
                  chaos: ChaosSpec | None = None,
                  registry: MetricsRegistry | None = None,
-                 dynamic: "DynamicEngine | None" = None):
+                 dynamic: "DynamicEngine | None" = None,
+                 governor: "TenantGovernor | None" = None):
         from ..dynamic import DynamicEngine
         from ..query import QueryEngine
         self.scheduler_config = scheduler_config or SchedulerConfig()
@@ -132,8 +133,12 @@ class GraphService:
         self.pool = WorkerPool(pool_config, chaos=chaos,
                                caches=self.caches,
                                memoize=self.scheduler_config.caching)
+        # optional multi-tenant QoS: absent, the scheduler hot path is
+        # the single-tenant one unchanged
+        self.governor = governor
         self.scheduler = Scheduler(self.pool, self.caches,
-                                   self.scheduler_config)
+                                   self.scheduler_config,
+                                   governor=governor)
         self.op_counts: dict[str, int] = {}
         self.connections = 0
         self._conn_tasks: set[asyncio.Task] = set()
@@ -176,6 +181,8 @@ class GraphService:
         self.caches.bind_metrics(reg)
         self.scheduler.bind_metrics(reg)
         self.pool.bind_metrics(reg)
+        if governor is not None:
+            governor.bind_metrics(reg)
 
     def _op_latency(self, op: str):
         """The latency-histogram child for ``op``, cached."""
@@ -313,10 +320,17 @@ class GraphService:
             # "up" while it can answer at all
             return {"ok": True, "protocol": PROTOCOL_VERSION,
                     "server": __version__}
-        if req.op in ("shard_info", "batch"):
+        if req.op in ("shard_info", "batch", "admin"):
             raise BadRequest(f"operation {req.op!r} is served by the "
                              "cluster layer (a shard or router), not a "
                              "standalone service")
+        if req.op in ("dyn_export", "dyn_import"):
+            # migration state transfer: export/import run off the loop
+            # like any other dynamic-engine op
+            loop = asyncio.get_running_loop()
+            handler = self.dynamic.export_dataset \
+                if req.op == "dyn_export" else self.dynamic.import_dataset
+            return await loop.run_in_executor(None, handler, req.params)
         if req.op == "workloads":
             return workloads_payload()
         if req.op == "datasets":
@@ -356,7 +370,8 @@ class GraphService:
         # much of the record goes back over the wire.  The wire deadline
         # rides into the scheduler, which sheds already-expired work.
         cell = cell_from_params(req.params)
-        record = await self.scheduler.submit(cell, deadline=req.deadline)
+        record = await self.scheduler.submit(cell, deadline=req.deadline,
+                                             tenant=req.tenant)
         if req.op == "run":
             out = {"workload": record["workload"],
                    "dataset": record["dataset"],
@@ -380,17 +395,20 @@ class GraphService:
         store = default_trace_store()
         if store is not None:
             cache = dict(cache, trace_store=store.stats.as_dict())
-        return {"protocol": PROTOCOL_VERSION,
-                "server": __version__,
-                "connections": self.connections,
-                "ops": dict(self.op_counts),
-                "scheduler": dict(self.scheduler.stats.as_dict(),
-                                  pending=self.scheduler.pending),
-                "pool": self.pool.stats.as_dict(),
-                "cache": cache,
-                "dynamic": self.dynamic.stats(),
-                "query": self.query_engine.stats(),
-                "metrics": self.registry.snapshot()}
+        payload = {"protocol": PROTOCOL_VERSION,
+                   "server": __version__,
+                   "connections": self.connections,
+                   "ops": dict(self.op_counts),
+                   "scheduler": dict(self.scheduler.stats.as_dict(),
+                                     pending=self.scheduler.pending),
+                   "pool": self.pool.stats.as_dict(),
+                   "cache": cache,
+                   "dynamic": self.dynamic.stats(),
+                   "query": self.query_engine.stats(),
+                   "metrics": self.registry.snapshot()}
+        if self.governor is not None:
+            payload["tenancy"] = self.governor.stats()
+        return payload
 
 
 class ServiceThread:

@@ -1,0 +1,123 @@
+"""Hot-shard detection from the router's own routing telemetry.
+
+The detector needs no new instrumentation: the router already counts
+every shard exchange in ``cluster_route_total{shard,outcome}`` and every
+keyed read per dataset in ``Router.key_route_counts``.  Sampling both
+and differencing against the previous sample yields a per-window load
+profile; a shard whose window delta exceeds ``ratio`` times the mean is
+*hot*, and the keys whose primary lives on a hot shard — ranked by their
+own window deltas — are the migration candidates a
+:class:`~repro.tenancy.migrate.RebalanceExecutor` acts on.
+
+Zipf-skewed traffic (the load generator's ``--dataset-skew``) is exactly
+the regime this exists for: a handful of datasets draw most of the
+traffic, consistent hashing cannot help (the skew is in the *key
+popularity*, not the placement), and the fix is more replicas for the
+hot keys or moving them to fresh capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Outcomes that represent real served load on a shard (errors and
+#: unreachable dials are *pressure relief*, not load to rebalance onto).
+_LOAD_OUTCOMES = frozenset({"ok", "failover", "hedge"})
+
+
+@dataclass(frozen=True)
+class HotspotReport:
+    """One detection window's verdict."""
+
+    hot_shards: tuple[str, ...]          # shards over the hot threshold
+    hot_keys: tuple[str, ...]            # their keys, busiest first
+    shard_deltas: dict[str, float] = field(default_factory=dict)
+    key_deltas: dict[str, int] = field(default_factory=dict)
+    mean_delta: float = 0.0
+    total_delta: float = 0.0
+
+    @property
+    def hot(self) -> bool:
+        return bool(self.hot_shards)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"hot": self.hot,
+                "hot_shards": list(self.hot_shards),
+                "hot_keys": list(self.hot_keys),
+                "shard_deltas": dict(self.shard_deltas),
+                "key_deltas": dict(self.key_deltas),
+                "mean_delta": round(self.mean_delta, 3),
+                "total_delta": round(self.total_delta, 3)}
+
+
+class HotspotDetector:
+    """Windowed skew detector over a router's routing counters.
+
+    Call :meth:`sample` periodically; each call closes one window.  A
+    shard is hot when its window delta exceeds ``ratio`` times the mean
+    across shards *and* the window saw at least ``min_total`` exchanges
+    (a quiet cluster has no hotspots, only noise).  The first sample
+    establishes the baseline and never reports hot.
+    """
+
+    def __init__(self, router, *, ratio: float = 2.0,
+                 min_total: float = 50.0):
+        if ratio <= 1.0:
+            raise ValueError("ratio must be > 1 (a shard at the mean "
+                             "is not hot)")
+        self.router = router
+        self.ratio = ratio
+        self.min_total = min_total
+        self._last_shard: dict[str, float] = {}
+        self._last_keys: dict[str, int] = {}
+        self._primed = False
+
+    def _shard_totals(self) -> dict[str, float]:
+        snap = self.router.registry.snapshot()
+        fam = snap.get("cluster_route_total", {})
+        totals: dict[str, float] = {}
+        for sample in fam.get("samples", []):
+            labels = sample.get("labels", {})
+            if labels.get("outcome") in _LOAD_OUTCOMES:
+                shard = labels.get("shard", "?")
+                totals[shard] = totals.get(shard, 0.0) \
+                    + float(sample.get("value", 0.0))
+        # every topology member appears, so an idle shard drags the
+        # mean down instead of vanishing from it
+        for shard in self.router.shards:
+            totals.setdefault(shard, 0.0)
+        return totals
+
+    def sample(self) -> HotspotReport:
+        """Close the current window and report on it."""
+        shard_now = self._shard_totals()
+        key_now = dict(self.router.key_route_counts)
+        shard_deltas = {s: v - self._last_shard.get(s, 0.0)
+                        for s, v in shard_now.items()}
+        key_deltas = {k: c - self._last_keys.get(k, 0)
+                      for k, c in key_now.items()}
+        primed = self._primed
+        self._last_shard = shard_now
+        self._last_keys = key_now
+        self._primed = True
+
+        total = sum(shard_deltas.values())
+        mean = total / len(shard_deltas) if shard_deltas else 0.0
+        hot_shards: tuple[str, ...] = ()
+        if primed and total >= self.min_total:
+            hot_shards = tuple(sorted(
+                s for s, d in shard_deltas.items()
+                if d > self.ratio * mean))
+        hot_keys: tuple[str, ...] = ()
+        if hot_shards:
+            hot_set = set(hot_shards)
+            ranked = sorted(
+                (k for k, d in key_deltas.items()
+                 if d > 0 and self.router.ring.owner(k) in hot_set),
+                key=lambda k: (-key_deltas[k], k))
+            hot_keys = tuple(ranked)
+        return HotspotReport(hot_shards=hot_shards, hot_keys=hot_keys,
+                             shard_deltas=shard_deltas,
+                             key_deltas=key_deltas,
+                             mean_delta=mean, total_delta=total)
