@@ -94,13 +94,115 @@ PREDICTORS = {
     "always_taken": AlwaysTakenPredictor,
 }
 
+def _counter_misses(idx: np.ndarray, taken: np.ndarray) -> int:
+    """Mispredict count of per-index 2-bit saturating counters (init
+    weakly-taken), fully vectorized.
+
+    The events of one table index form an independent chain of mapping
+    applications.  A stable sort groups the stream per index while keeping
+    program order inside each group; a segmented Hillis-Steele scan then
+    composes the transition mappings, giving every event the exact counter
+    value the sequential predictor would have read.  Both single-step
+    mappings are saturating adds ``x -> min(hi, max(lo, x + a))`` and that
+    family is closed under composition::
+
+        (g . f)  =  (a_f + a_g,
+                     max(lo_g, lo_f + a_g),
+                     min(hi_g, max(lo_g, hi_f + a_g)))
+
+    so each mapping is three small ints and every scan step is a few
+    elementwise ops — no per-row gathers.  Composition is associative, so
+    the scan is exact, not an approximation.  Once the doubling distance
+    exceeds most segment lengths the surviving rows are compacted and
+    updated sparsely.
+    """
+    n = len(idx)
+    if not n:
+        return 0
+    # stable radix argsort — table indices fit u32, which sorts ~2x
+    # faster than the int64 the caller naturally produces
+    order = np.argsort(idx.astype(np.uint32), kind="stable")
+    gt = taken[order].astype(bool)
+    gi = idx[order]
+    start = np.empty(n, bool)
+    start[0] = True
+    start[1:] = gi[1:] != gi[:-1]
+    seg_first = np.flatnonzero(start)
+    seg_id = np.cumsum(start) - 1
+    pos = np.arange(n, dtype=np.int64) - seg_first[seg_id]
+    a = np.where(gt, np.int16(1), np.int16(-1))
+    lo = np.zeros(n, np.int16)
+    hi = np.full(n, 3, np.int16)
+    longest = int(pos.max())
+    d = 1
+    while d <= longest:              # dense phase: whole-array steps
+        live = pos[d:] >= d          # rows at least d into their segment
+        ag, lg, hg = a[d:], lo[d:], hi[d:]
+        na = a[:n - d] + ag
+        nlo = np.maximum(lg, lo[:n - d] + ag)
+        nhi = np.minimum(hg, np.maximum(lg, hi[:n - d] + ag))
+        np.copyto(ag, na, where=live)
+        np.copyto(lg, nlo, where=live)
+        np.copyto(hg, nhi, where=live)
+        d *= 2
+        if int(live.sum()) * 20 < n:     # few survivors -> go sparse
+            break
+    if d <= longest:                 # sparse phase on compacted survivors
+        rows = np.flatnonzero(pos >= d)
+        while d <= longest and len(rows):
+            src = rows - d
+            ag, lg, hg = a[rows], lo[rows], hi[rows]
+            na = a[src] + ag
+            a[rows] = na
+            lo[rows] = np.maximum(lg, lo[src] + ag)
+            hi[rows] = np.minimum(hg, np.maximum(lg, hi[src] + ag))
+            d *= 2
+            rows = rows[pos[rows] >= d]
+    before = np.full(n, 2, np.int16)
+    nst = ~start
+    before[nst] = np.minimum(
+        hi[:-1][nst[1:]],
+        np.maximum(lo[:-1][nst[1:]], 2 + a[:-1][nst[1:]]))
+    return int(((before >= 2) != gt).sum())
+
+
+def _gshare_history(taken: np.ndarray, history_bits: int,
+                    hmask: int) -> np.ndarray:
+    """Global-history register value seen by each branch.  The history is
+    a pure shift-in of past *outcomes* — independent of predictions — so
+    it unrolls into ``history_bits`` shifted-OR passes."""
+    n = len(taken)
+    hist = np.zeros(n, np.int64)
+    tb = taken.astype(np.int64)
+    for k in range(1, min(history_bits, n - 1 if n else 0) + 1):
+        hist[k:] |= tb[:-k] << (k - 1)
+    return hist & hmask
+
 
 def simulate_branches(sites: np.ndarray, taken: np.ndarray,
-                      kind: str = "gshare", **kwargs) -> BranchStats:
-    """Run predictor ``kind`` over a (site, outcome) stream."""
+                      kind: str = "gshare", fast: bool = True,
+                      **kwargs) -> BranchStats:
+    """Run predictor ``kind`` over a (site, outcome) stream.
+
+    ``fast=True`` (default) uses the vectorized closed-form evolution for
+    the table-based predictors; it is exact —
+    ``tests/test_tlb_branch_icache.py`` cross-validates it against the
+    sequential classes, which remain the oracle.  Pass ``fast=False`` to
+    force the loop implementation.
+    """
     try:
         cls = PREDICTORS[kind]
     except KeyError:
         raise ValueError(f"unknown predictor {kind!r}; "
                          f"choose from {sorted(PREDICTORS)}") from None
+    if fast and kind in ("gshare", "bimodal"):
+        p = cls(**kwargs)
+        s = np.asarray(sites, np.int64)
+        t = np.asarray(taken)
+        if kind == "bimodal":
+            idx = s & p.mask
+        else:
+            hist = _gshare_history(t, p.hmask.bit_length(), p.hmask)
+            idx = (s ^ hist) & p.mask
+        return BranchStats(len(s), _counter_misses(idx, t))
     return cls(**kwargs).simulate(sites, taken)

@@ -188,7 +188,7 @@ class CPUModel:
             br = memo[bkey]
         else:
             br = simulate_branches(trace.branch_sites, trace.branch_taken,
-                                   kind=m.predictor,
+                                   kind=m.predictor, fast=fast,
                                    table_bits=m.predictor_bits)
             if memo is not None:
                 memo[bkey] = br

@@ -24,6 +24,7 @@ the reference stays in the tree as the cross-validation oracle (see
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,9 +44,14 @@ class ReplayResult:
     tlb_miss: np.ndarray    # per-access bool, program order
 
 
-def _level(cfg: CacheConfig) -> tuple[list[dict[int, None]], int, int]:
-    """(sets, index mask, assoc) for one cache level (n_sets is pow2)."""
-    return [dict() for _ in range(cfg.n_sets)], cfg.n_sets - 1, cfg.assoc
+def _level(cfg: CacheConfig) -> tuple[defaultdict, int, int]:
+    """(sets, index mask, assoc) for one cache level (n_sets is pow2).
+
+    Sets materialize lazily: eagerly building one dict per set makes the
+    *allocation* dominate short replays of large caches (a scaled LLC has
+    tens of thousands of sets, a graph trace touches a fraction of them).
+    """
+    return defaultdict(dict), cfg.n_sets - 1, cfg.assoc
 
 
 def _mru_skip(ids: np.ndarray, mask: int) -> np.ndarray:
@@ -78,7 +84,7 @@ def lru_misses(ids: np.ndarray, mask: int, assoc: int) -> int:
     masks are not needed).  Bitwise-identical miss total to
     :meth:`repro.arch.cache.Cache.simulate` over the same stream."""
     live = ids[~_mru_skip(ids, mask)].tolist()
-    sets: list[dict[int, int]] = [dict() for _ in range(mask + 1)]
+    sets: defaultdict = defaultdict(dict)
     misses = 0
     for ln in live:
         s = sets[ln & mask]
@@ -112,13 +118,8 @@ def replay(addrs: np.ndarray, rw: np.ndarray | None,
             id_cache[granularity] = out
         return out
 
-    l1_of = ids_for(m.l1d.line)
-    l2_of = l1_of if m.l2.line == m.l1d.line else ids_for(m.l2.line)
-    l3_of = l1_of if m.l3.line == m.l1d.line else ids_for(m.l3.line)
     page = m.tlb.page
-    writes = None
-    if rw is not None:
-        writes = rw.tolist() if isinstance(rw, np.ndarray) else list(rw)
+    rw_arr = np.asarray(rw, dtype=np.uint8) if rw is not None else None
 
     s1, mask1, a1 = _level(m.l1d)
     s2, mask2, a2 = _level(m.l2)
@@ -150,68 +151,154 @@ def replay(addrs: np.ndarray, rw: np.ndarray | None,
             id_cache[ck] = out
         return out
 
-    live1, keys1 = live_for(m.l1d.line, mask1)
-    livet, keyst = live_for(page, maskt)
-    mru2 = [-1] * (mask2 + 1)
+    # Stage memoization: a cold L1 (and a cold DTLB) is a pure function of
+    # its own geometry and the full stream, independent of the levels
+    # below it, so its miss-index list can be shared across every machine
+    # in a sweep with the same L1 (TLB) shape.  On a stage hit the walk
+    # below starts directly from the memoized L1-miss substream — only
+    # L2/L3, whose geometries actually differ across the sweep, are
+    # simulated.  Miss indices come out in ascending program order either
+    # way, so results stay bitwise identical.
+    l1key = ("l1stage", m.l1d.line, mask1, a1)
+    l2key = ("l2stage", m.l1d.line, mask1, a1, m.l2.line, mask2, a2)
+    tkey = ("tlbstage", page, maskt, at)
     mru3 = [-1] * (mask3 + 1)
 
-    # Hot loops.  An LRU probe is pop-then-reinsert (2 dict ops on the hit
-    # path); the pop result doubles as the hit test, and reinsertion makes
-    # the key MRU whether it hit or missed — the same key order the
-    # reference's membership/del/insert sequence produces.  L2/L3 keep an
-    # inline per-set MRU shortcut (their substreams depend on upper-level
-    # misses, so they cannot be precomputed).  ``rw`` is only consulted on
-    # a miss, keeping the all-hits path free of it.
-    for i, ln in zip(live1, keys1):
-        s = s1[ln & mask1]
-        if s.pop(ln, None) is None:
-            i1_append(i)
-            if writes is not None and writes[i]:
-                w1 += 1
-            s[ln] = 1
-            if len(s) > a1:
-                del s[next(iter(s))]
-            ln = l2_of[i]
-            ix = ln & mask2
-            if mru2[ix] != ln:
-                mru2[ix] = ln
-                s = s2[ix]
-                if s.pop(ln, None) is None:
-                    i2_append(i)
-                    if writes is not None and writes[i]:
-                        w2 += 1
-                    s[ln] = 1
-                    if len(s) > a2:
+    if id_cache is not None and l2key in id_cache and l1key in id_cache:
+        # L1 AND L2 stages memoized (machines differing only in L3):
+        # walk just the L2-miss substream through L3
+        i1 = id_cache[l1key]
+        i2, w1, w2 = id_cache[l2key]
+        sub2 = np.asarray(i2, dtype=np.int64)
+        k3 = line_ids(addrs[sub2], m.l3.line)
+        wl = (rw_arr[sub2].tolist() if rw_arr is not None and len(sub2)
+              else [0] * len(sub2))
+        for i, ln3, wf in zip(i2, k3.tolist(), wl):
+            ix = ln3 & mask3
+            if mru3[ix] != ln3:
+                mru3[ix] = ln3
+                s = s3[ix]
+                if s.pop(ln3, None) is None:
+                    i3_append(i)
+                    if wf:
+                        w3 += 1
+                    s[ln3] = 1
+                    if len(s) > a3:
                         del s[next(iter(s))]
-                    ln = l3_of[i]
-                    ix = ln & mask3
-                    if mru3[ix] != ln:
-                        mru3[ix] = ln
-                        s = s3[ix]
-                        if s.pop(ln, None) is None:
-                            i3_append(i)
-                            if writes is not None and writes[i]:
-                                w3 += 1
-                            s[ln] = 1
-                            if len(s) > a3:
-                                del s[next(iter(s))]
-                        else:
-                            s[ln] = 1
                 else:
-                    s[ln] = 1
-        else:
-            s[ln] = 1
+                    s[ln3] = 1
+    elif id_cache is not None and l1key in id_cache:
+        i1 = id_cache[l1key]
+        sub = np.asarray(i1, dtype=np.int64)
+        asub = addrs[sub]
+        if rw_arr is not None and len(sub):
+            w1 = int(rw_arr[sub].sum())
+        k2 = line_ids(asub, m.l2.line)
+        keep = ~_mru_skip(k2, mask2)
+        wl = (rw_arr[sub[keep]].tolist() if rw_arr is not None
+              else [0] * int(keep.sum()))
+        for i, ln, ln3, wf in zip(sub[keep].tolist(), k2[keep].tolist(),
+                                  line_ids(asub[keep], m.l3.line).tolist(),
+                                  wl):
+            s = s2[ln & mask2]
+            if s.pop(ln, None) is None:
+                i2_append(i)
+                if wf:
+                    w2 += 1
+                s[ln] = 1
+                if len(s) > a2:
+                    del s[next(iter(s))]
+                ix = ln3 & mask3
+                if mru3[ix] != ln3:
+                    mru3[ix] = ln3
+                    s = s3[ix]
+                    if s.pop(ln3, None) is None:
+                        i3_append(i)
+                        if wf:
+                            w3 += 1
+                        s[ln3] = 1
+                        if len(s) > a3:
+                            del s[next(iter(s))]
+                    else:
+                        s[ln3] = 1
+            else:
+                s[ln] = 1
+    else:
+        l1_of = ids_for(m.l1d.line)
+        l2_of = l1_of if m.l2.line == m.l1d.line else ids_for(m.l2.line)
+        l3_of = l1_of if m.l3.line == m.l1d.line else ids_for(m.l3.line)
+        writes = rw_arr.tolist() if rw_arr is not None else None
+        live1, keys1 = live_for(m.l1d.line, mask1)
+        mru2 = [-1] * (mask2 + 1)
+
+        # Hot loop.  An LRU probe is pop-then-reinsert (2 dict ops on the
+        # hit path); the pop result doubles as the hit test, and
+        # reinsertion makes the key MRU whether it hit or missed — the
+        # same key order the reference's membership/del/insert sequence
+        # produces.  L2/L3 keep an inline per-set MRU shortcut (their
+        # substreams depend on upper-level misses, so they cannot be
+        # precomputed).  ``rw`` is only consulted on a miss, keeping the
+        # all-hits path free of it.
+        for i, ln in zip(live1, keys1):
+            s = s1[ln & mask1]
+            if s.pop(ln, None) is None:
+                i1_append(i)
+                if writes is not None and writes[i]:
+                    w1 += 1
+                s[ln] = 1
+                if len(s) > a1:
+                    del s[next(iter(s))]
+                ln = l2_of[i]
+                ix = ln & mask2
+                if mru2[ix] != ln:
+                    mru2[ix] = ln
+                    s = s2[ix]
+                    if s.pop(ln, None) is None:
+                        i2_append(i)
+                        if writes is not None and writes[i]:
+                            w2 += 1
+                        s[ln] = 1
+                        if len(s) > a2:
+                            del s[next(iter(s))]
+                        ln = l3_of[i]
+                        ix = ln & mask3
+                        if mru3[ix] != ln:
+                            mru3[ix] = ln
+                            s = s3[ix]
+                            if s.pop(ln, None) is None:
+                                i3_append(i)
+                                if writes is not None and writes[i]:
+                                    w3 += 1
+                                s[ln] = 1
+                                if len(s) > a3:
+                                    del s[next(iter(s))]
+                            else:
+                                s[ln] = 1
+                    else:
+                        s[ln] = 1
+            else:
+                s[ln] = 1
+        if id_cache is not None:
+            id_cache[l1key] = i1
+    if id_cache is not None and l2key not in id_cache:
+        id_cache[l2key] = (i2, w1, w2)
 
     # DTLB: probed by every access, read-only (matches TLB.simulate)
-    for i, pg in zip(livet, keyst):
-        s = st[pg & maskt]
-        if s.pop(pg, None) is None:
-            it_append(i)
-            s[pg] = 1
-            if len(s) > at:
-                del s[next(iter(s))]
-        else:
-            s[pg] = 1
+    if id_cache is not None and tkey in id_cache:
+        it = id_cache[tkey]
+    else:
+        livet, keyst = live_for(page, maskt)
+        for i, pg in zip(livet, keyst):
+            s = st[pg & maskt]
+            if s.pop(pg, None) is None:
+                it_append(i)
+                s[pg] = 1
+                if len(s) > at:
+                    del s[next(iter(s))]
+            else:
+                s[pg] = 1
+        if id_cache is not None:
+            id_cache[tkey] = it
 
     def mask_of(idx: list[int]) -> np.ndarray:
         out = np.zeros(n, dtype=bool)

@@ -686,6 +686,88 @@ class PropertyGraph:
             t.leave()
         return e.props[slot]
 
+    # -- prebound fast accessors ---------------------------------------------
+    # Loop kernels that stay per-element (DFS's stack order, SPath's heap
+    # order, GColor's round structure) spend much of their time in the
+    # generic primitives re-resolving schema slots, byte offsets and
+    # attribute chains on every call.  These factories memoize all of
+    # that once and return closures that emit the *identical* event
+    # stream — same regions, instruction counts, stack rotation, and
+    # addresses — as the generic vget/vset/eget/find_vertex (asserted in
+    # tests/test_workloads_vectorized.py).  The closures snapshot the
+    # vertex index geometry, so they must not be used across
+    # add/delete-vertex calls (which can grow the index).
+
+    def vertex_finder(self):
+        """Prebound, trace-identical :meth:`find_vertex`."""
+        getv = self._v.get
+        ibase, icap, sbase = self._index_base, self._index_cap, self._stack_base
+        def find(vid: int) -> Vertex:
+            v = getv(vid)
+            t = self.t
+            if t is not None:
+                t.enter(T.R_FIND_VERTEX)
+                t.i(C_FIND_VERTEX)
+                sp = self._sp = (self._sp + 1) & 3
+                t.r(sbase + 64 * sp)
+                t.r(ibase + INDEX_ENTRY * (vid % icap))
+                t.br(T.B_FIND_HIT, v is not None)
+                if v is not None:
+                    t.r(v.addr + V_ID_OFF)
+                t.leave()
+            if v is None:
+                raise VertexNotFound(vid)
+            return v
+        return find
+
+    def prop_reader(self, name: str):
+        """Prebound, trace-identical :meth:`vget` for one property."""
+        slot = self.vschema.slot(name)
+        off = V_PROP_OFF + self.vschema.offset(name)
+        sbase = self._stack_base
+        def read(v: Vertex) -> Any:
+            t = self.t
+            if t is not None:
+                t.enter(T.R_PROP_GET)
+                t.i(C_PROP_GET)
+                sp = self._sp = (self._sp + 1) & 3
+                t.r(sbase + 64 * sp)
+                t.r(v.addr + off)
+                t.leave()
+            return v.props[slot]
+        return read
+
+    def prop_writer(self, name: str):
+        """Prebound, trace-identical :meth:`vset` for one property."""
+        slot = self.vschema.slot(name)
+        off = V_PROP_OFF + self.vschema.offset(name)
+        sbase = self._stack_base
+        def write(v: Vertex, value: Any) -> None:
+            v.props[slot] = value
+            t = self.t
+            if t is not None:
+                t.enter(T.R_PROP_SET)
+                t.i(C_PROP_SET)
+                sp = self._sp = (self._sp + 1) & 3
+                t.r(sbase + 64 * sp)
+                t.w(v.addr + off)
+                t.leave()
+        return write
+
+    def eprop_reader(self, name: str):
+        """Prebound, trace-identical :meth:`eget` for one edge property."""
+        slot = self.eschema.slot(name)
+        off = E_PROP_OFF + self.eschema.offset(name)
+        def read(e: EdgeNode) -> Any:
+            t = self.t
+            if t is not None:
+                t.enter(T.R_PROP_GET)
+                t.i(C_PROP_GET)
+                t.r(e.addr + off)
+                t.leave()
+            return e.props[slot]
+        return read
+
     # -- payload (rich-property) primitives --------------------------------------------
     def payload_set(self, v: Vertex, name: str, value: Any, nbytes: int) -> int:
         """Attach a rich out-of-struct payload (e.g. a CPT) to a vertex.
@@ -772,6 +854,37 @@ class PropertyGraph:
             for dst in v.out:
                 g.add_edge(vid, dst)
         return g
+
+    # -- state snapshot ------------------------------------------------------
+    def state_snapshot(self) -> tuple:
+        """Capture mutable run state: every vertex/edge property list, the
+        allocator, and the stack-rotation pointer.
+
+        A workload that mutates only properties (no topology changes, no
+        vertex/edge inserts or deletes) can be re-run on the same graph
+        after :meth:`restore_state` and will observe a graph
+        indistinguishable from a fresh build — identical property values,
+        identical addresses for any allocations it makes, identical stack
+        rotation — and therefore emit an identical trace.  Topology
+        mutators (edge deletes, inserts) invalidate the snapshot.
+        """
+        return (self.alloc.snapshot(), self._sp,
+                [list(v.props) for v in self._v.values()],
+                [list(e.props) for v in self._v.values()
+                 for e in v.out.values()])
+
+    def restore_state(self, state: tuple) -> None:
+        """Rewind property values, allocator and stack pointer to a
+        :meth:`state_snapshot` taken on this graph (same topology)."""
+        alloc_state, sp, vprops, eprops = state
+        self.alloc.restore(alloc_state)
+        self._sp = sp
+        for v, props in zip(self._v.values(), vprops):
+            v.props[:] = props
+        eit = iter(eprops)
+        for v in self._v.values():
+            for e in v.out.values():
+                e.props[:] = next(eit)
 
 
 # Convenience schemas used across workloads ---------------------------------

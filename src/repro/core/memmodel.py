@@ -138,6 +138,25 @@ class SimAllocator:
         span = self._cursor - self.base
         return (span + PAGE_SIZE - 1) // PAGE_SIZE
 
+    def snapshot(self) -> tuple:
+        """Opaque, immutable capture of the allocator state.
+
+        Restoring it replays the allocator exactly: the same sequence of
+        ``alloc`` calls after a restore yields the same addresses
+        (including the aged-heap scatter gaps, whose RNG state is part of
+        the capture).  Used by the harness to re-run property-only
+        workloads on a cached graph without address drift.
+        """
+        return (self._cursor, self.bytes_allocated, self.n_allocs,
+                self._rng.bit_generator.state, dict(self._tags))
+
+    def restore(self, state: tuple) -> None:
+        """Rewind to a :meth:`snapshot` taken on this allocator."""
+        (self._cursor, self.bytes_allocated, self.n_allocs,
+         rng_state, tags) = state
+        self._rng.bit_generator.state = rng_state
+        self._tags = dict(tags)
+
     def tag_bytes(self, tag: str) -> int:
         """Bytes allocated under ``tag`` (e.g. 'vertex', 'edge', 'csr')."""
         return self._tags.get(tag, 0)

@@ -205,6 +205,23 @@ class _AccessBuf:
                            np.full(k, reg, np.uint32)))
         self.count += k
 
+    def extend_cols(self, addrs: np.ndarray, rw: np.ndarray,
+                    iat: np.ndarray, reg: np.ndarray) -> None:
+        """Batch append with full per-access columns (no broadcasting).
+
+        All four arrays must be freshly built (or copied) by the caller —
+        the buffer takes ownership of them.
+        """
+        k = len(addrs)
+        if not k:
+            return
+        self._seal()
+        self._full.append((np.asarray(addrs, np.uint64),
+                           np.asarray(rw, np.uint8),
+                           np.asarray(iat, np.uint64),
+                           np.asarray(reg, np.uint32)))
+        self.count += k
+
     def frozen(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         parts = list(self._full)
         p = self._pos
@@ -417,6 +434,63 @@ class Tracer:
         if self._cur_fw:
             self.fw_instrs += total
             self.fw_accesses += k * c
+
+    def bulk_emit(self, addrs, rw, iat, regions, *, n_instrs: int,
+                  fw_instrs: int, fw_accesses: int, head_instrs: int = 0,
+                  region_seq=None, region_instrs=None) -> None:
+        """Append a fully precomputed event block (vectorized kernels).
+
+        This is the raw back door behind the loop-equivalent bulk helpers:
+        the caller supplies complete per-access columns (``addrs``/``rw``/
+        ``iat``/``regions``), total charged instructions, the framework
+        splits, and the region-visit bookkeeping:
+
+        * ``head_instrs`` accrue to the visit that is open when the block
+          starts (instructions charged before the first region transition);
+        * ``region_seq``/``region_instrs`` are the visits the block opens,
+          appended verbatim.  The block must be *balanced*: its last visit
+          must re-enter the region that was current when it began, so the
+          tracer resumes exactly where a loop of ``enter``/``leave`` calls
+          would have left it.
+
+        ``iat`` values are absolute instruction indices; the caller builds
+        them from ``self.n`` before calling.  Consistency of the per-visit
+        split is checked (``head + sum(region_instrs) == n_instrs``).
+        """
+        seq = [] if region_seq is None else np.asarray(region_seq).tolist()
+        cnt = ([] if region_instrs is None
+               else np.asarray(region_instrs, dtype=np.int64).tolist())
+        if len(seq) != len(cnt):
+            raise TraceError("bulk_emit: region_seq/region_instrs length "
+                             f"mismatch ({len(seq)} vs {len(cnt)})")
+        if head_instrs + sum(cnt) != n_instrs:
+            raise TraceError("bulk_emit: per-visit instruction split does "
+                             "not sum to n_instrs")
+        if seq and seq[-1] != self._cur_rid:
+            raise TraceError("bulk_emit: unbalanced block (last visit "
+                             f"{seq[-1]} != current region {self._cur_rid})")
+        a = np.asarray(addrs, dtype=np.uint64)
+        k = len(a)
+        if k:
+            self._acc.extend_cols(a, np.asarray(rw, np.uint8),
+                                  np.asarray(iat, np.uint64),
+                                  np.asarray(regions, np.uint32))
+        self.n += int(n_instrs)
+        self.fw_instrs += int(fw_instrs)
+        self.fw_accesses += int(fw_accesses)
+        self._rcnt[-1] += int(head_instrs)
+        if seq:
+            self._rseq.extend(seq)
+            self._rcnt.extend(cnt)
+
+    def bulk_branch_events(self, sites, taken) -> None:
+        """Record a batch of branch outcomes with per-event site ids
+        (:meth:`bulk_branches` broadcasts one site; this takes columns)."""
+        s = np.asarray(sites)
+        if not len(s):
+            return
+        self._br.extend(s.astype(np.uint32),
+                        np.asarray(taken).astype(np.uint8))
 
     def bulk_branches(self, site: int, taken, count: int | None = None
                       ) -> None:

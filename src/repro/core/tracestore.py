@@ -7,7 +7,7 @@ counts; no cache/TLB/branch state enters trace generation).  A machine
 sensitivity sweep therefore only needs to *execute* the workload once and
 can replay the stored trace against every :class:`MachineConfig`.
 
-Layout: each entry is ``<key>.npz`` (compressed numpy columns) plus a
+Layout: each entry is ``<key>.npz`` (numpy columns) plus a
 ``<key>.json`` sidecar carrying the regions table, scalar outputs, trace
 counters and provenance.  The key is the sha256 of the canonical JSON of
 (workload, dataset name/n/m/seed, canonicalized params, trace-format
@@ -99,6 +99,12 @@ class StoredTrace:
     key: str
 
 
+#: entries kept in the per-store in-memory cache (a machine sweep replays
+#: the same handful of traces many times; re-parsing the npz per machine
+#: was a measurable share of sweep time)
+_MEM_CACHE_ENTRIES = 8
+
+
 class TraceStore:
     """Content-addressed trace store rooted at a directory."""
 
@@ -106,6 +112,23 @@ class TraceStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = TraceStoreStats()
+        self._mem: dict[str, StoredTrace] = {}
+
+    def _mem_put(self, key: str, entry: StoredTrace) -> None:
+        self._mem[key] = entry
+        if len(self._mem) > _MEM_CACHE_ENTRIES:
+            del self._mem[next(iter(self._mem))]
+
+    def _mem_get(self, key: str) -> StoredTrace | None:
+        entry = self._mem.get(key)
+        if entry is None:
+            return None
+        # fresh shallow dicts: callers may mutate outputs/params copies
+        return StoredTrace(trace=entry.trace,
+                           footprint_bytes=entry.footprint_bytes,
+                           outputs=dict(entry.outputs),
+                           params=dict(entry.params),
+                           key=key)
 
     # -- keys ----------------------------------------------------------------
     def key_for(self, workload: str, spec, params: dict | None = None) -> str:
@@ -145,6 +168,10 @@ class TraceStore:
     # -- load/save -----------------------------------------------------------
     def load(self, key: str) -> StoredTrace | None:
         """Load an entry; ``None`` on miss or corruption (fail open)."""
+        cached = self._mem_get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
         npz_path, sidecar_path = self._paths(key)
         if not (npz_path.exists() and sidecar_path.exists()):
             self.stats.misses += 1
@@ -172,11 +199,13 @@ class TraceStore:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return StoredTrace(trace=trace,
-                           footprint_bytes=int(meta.get("footprint_bytes", 0)),
-                           outputs=dict(meta.get("outputs", {})),
-                           params=dict(meta.get("params", {})),
-                           key=key)
+        entry = StoredTrace(trace=trace,
+                            footprint_bytes=int(meta.get("footprint_bytes", 0)),
+                            outputs=dict(meta.get("outputs", {})),
+                            params=dict(meta.get("params", {})),
+                            key=key)
+        self._mem_put(key, entry)
+        return self._mem_get(key)
 
     def save(self, key: str, trace: FrozenTrace, *,
              footprint_bytes: int = 0,
@@ -194,7 +223,9 @@ class TraceStore:
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                np.savez_compressed(fh, **cols)
+                # uncompressed: traces are a few MB and the zlib pass was
+                # the single largest cost of a store write
+                np.savez(fh, **cols)
             os.replace(tmp, npz_path)
         except BaseException:
             if os.path.exists(tmp):
@@ -226,6 +257,11 @@ class TraceStore:
                 os.unlink(tmp)
             raise
         self.stats.stores += 1
+        # deliberately NOT seeded into the memory tier: the fail-open
+        # contract is that load() reflects what is actually on disk, so a
+        # tampered/corrupted entry must read as a miss even right after a
+        # save.  The first load pays one npz parse and warms the tier.
+        self._mem.pop(key, None)
         return sidecar_path
 
     # -- observability -------------------------------------------------------

@@ -30,9 +30,11 @@ class GPUKernel(ABC):
     MODEL: str = "thread-centric"       # or "edge-centric"
 
     def run(self, csr: CSRGraph, coo: COOGraph | None = None,
-            l2_bytes: int = 32 * 1024,
+            l2_bytes: int = 32 * 1024, fused: bool = True,
             **params: Any) -> tuple[dict[str, Any], KernelStats]:
-        acc = KernelAccum(l2_bytes=l2_bytes)
+        """Execute the kernel; ``fused=False`` forces the inline
+        reference L2 accounting (the cross-validation oracle)."""
+        acc = KernelAccum(l2_bytes=l2_bytes, fused=fused)
         outputs = self.kernel(csr, coo, acc, **params)
         return outputs, acc.stats
 

@@ -130,12 +130,67 @@ class KernelAccum:
     scaled with the datasets like the CPU caches, see DESIGN.md); only
     misses become DRAM traffic.  Replay counting stays at the warp-issue
     level — replays happen before the cache.
+
+    With ``fused=True`` (default) the L2 walk is deferred: each
+    :meth:`mem_op` banks its transaction stream and the walk happens once,
+    on :attr:`stats` access, over the concatenated stream — after a
+    vectorized prefilter drops every transaction whose segment equals the
+    immediately preceding one (a guaranteed MRU hit of the
+    fully-associative LRU, whose pop-then-reinsert changes nothing).
+    Per-call DRAM/byte attribution is preserved through chunk ids, so the
+    resulting :class:`KernelStats` is bitwise identical to the inline
+    reference, which ``fused=False`` keeps available as the oracle
+    (cross-validated in ``tests/test_gpu_simt.py``).
     """
 
-    def __init__(self, l2_bytes: int = 32 * 1024):
-        self.stats = KernelStats()
+    def __init__(self, l2_bytes: int = 32 * 1024, fused: bool = True):
+        self._stats = KernelStats()
         self._slot_base = 0
         self._l2 = _SegmentLRU(l2_bytes // SEGMENT)
+        self._fused = fused
+        # deferred transaction chunks: (segment array, is_write, rmw)
+        self._pending: list[tuple[np.ndarray, bool, bool]] = []
+        self._last_seg = -1     # last segment id seen, across flushes
+
+    @property
+    def stats(self) -> KernelStats:
+        """Accumulated counters (flushes any deferred L2 traffic)."""
+        self._flush()
+        return self._stats
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        chunks = self._pending
+        self._pending = []
+        segs = np.concatenate([c[0] for c in chunks])
+        cid = np.repeat(np.arange(len(chunks)),
+                        [len(c[0]) for c in chunks])
+        keep = np.empty(len(segs), bool)
+        keep[0] = segs[0] != self._last_seg
+        keep[1:] = segs[1:] != segs[:-1]
+        self._last_seg = int(segs[-1])
+        miss_by_chunk = [0] * len(chunks)
+        d = self._l2._d
+        cap = self._l2.cap
+        for s, c in zip(segs[keep].tolist(), cid[keep].tolist()):
+            if d.pop(s, False) is False:
+                miss_by_chunk[c] += 1
+                d[s] = None
+                if len(d) > cap:
+                    del d[next(iter(d))]
+            else:
+                d[s] = None
+        st = self._stats
+        for (_, is_write, rmw), dram in zip(chunks, miss_by_chunk):
+            st.dram_transactions += dram
+            nbytes = dram * SEGMENT
+            if is_write:
+                st.bytes_written += nbytes
+                if rmw:
+                    st.bytes_read += nbytes
+            else:
+                st.bytes_read += nbytes
 
     # -- compute -------------------------------------------------------------
     def uniform_op(self, active: np.ndarray, instrs: float = 1.0) -> None:
@@ -147,8 +202,8 @@ class KernelAccum:
         n = len(active)
         n_warps_active = np.add.reduceat(
             active, np.arange(0, n, WARP_SIZE)).astype(bool).sum()
-        self.stats.warp_issues += float(n_warps_active) * instrs
-        self.stats.lane_issues += float(active.sum()) * instrs
+        self._stats.warp_issues += float(n_warps_active) * instrs
+        self._stats.lane_issues += float(active.sum()) * instrs
 
     def loop(self, trips: np.ndarray, body_instrs: float = 1.0) -> None:
         """A data-dependent inner loop: thread ``i`` runs ``trips[i]``
@@ -159,8 +214,8 @@ class KernelAccum:
         if n == 0:
             return
         steps = np.maximum.reduceat(trips, np.arange(0, n, WARP_SIZE))
-        self.stats.warp_issues += float(steps.sum()) * body_instrs
-        self.stats.lane_issues += float(trips.sum()) * body_instrs
+        self._stats.warp_issues += float(steps.sum()) * body_instrs
+        self._stats.lane_issues += float(trips.sum()) * body_instrs
 
     # -- memory --------------------------------------------------------------
     def mem_op(self, slot: np.ndarray, addrs: np.ndarray,
@@ -189,12 +244,16 @@ class KernelAccum:
         ukey = np.unique(key)           # sorted: slot-major ~ program order
         n_unique = len(ukey)
         n_slots = len(np.unique(slot))
-        st = self.stats
+        st = self._stats
         st.mem_base_issues += n_slots
         st.mem_replays += n_unique - n_slots
         st.mem_lane_accesses += len(addrs)
         st.slot_transactions += n_unique
-        # DRAM traffic: the transaction stream filtered by the model L2
+        # DRAM traffic: the transaction stream filtered by the model L2.
+        # The fused path banks the stream for one deferred batch walk.
+        if self._fused:
+            self._pending.append((ukey % _KEY_STRIDE, is_write, rmw))
+            return
         dram = self._l2.access_stream((ukey % _KEY_STRIDE).tolist())
         st.dram_transactions += dram
         nbytes = dram * SEGMENT
@@ -221,7 +280,7 @@ class KernelAccum:
         slot = np.asarray(slot, dtype=np.int64)
         addrs = np.asarray(addrs, dtype=np.int64)
         self.mem_op(slot, addrs, elem_bytes, is_write=True, rmw=True)
-        st = self.stats
+        st = self._stats
         st.atomic_ops += len(addrs)
         if len(addrs):
             pair = slot * _KEY_STRIDE + addrs % _KEY_STRIDE
@@ -236,7 +295,7 @@ class KernelAccum:
 
     def launch(self) -> None:
         """Mark one kernel launch (iteration) boundary."""
-        self.stats.launches += 1
+        self._stats.launches += 1
 
 
 def slots_for_loop(trips: np.ndarray) -> tuple[np.ndarray, np.ndarray,

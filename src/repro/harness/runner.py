@@ -78,6 +78,7 @@ def clear_cache() -> None:
     """Drop memoized characterization rows (for tests)."""
     _CACHE.clear()
     _SWEEP_MEMOS.clear()
+    _GRAPH_CACHE.clear()
 
 
 # Per-trace scratch memos for machine sweeps over stored traces: keyed by
@@ -131,6 +132,40 @@ def cache_stats() -> dict[str, dict[str, float] | None]:
 def _build_graph(spec: GraphSpec, tracer=None) -> PropertyGraph:
     return spec.build(vertex_schema=common_vertex_schema(),
                       edge_schema=common_edge_schema(), tracer=tracer)
+
+
+#: Workloads whose kernels mutate only property values — never topology,
+#: the vertex index, or live payload objects.  Safe to re-run on a cached
+#: graph after :meth:`PropertyGraph.restore_state` (GUp deletes edges and
+#: must always build fresh; GCons/TMorph/Gibbs have their own input
+#: disciplines and never reach the shared-graph path).
+_PROP_ONLY_WORKLOADS = frozenset(
+    {"BFS", "DFS", "SPath", "kCore", "CComp", "TC", "DCentr", "GColor",
+     "BCentr"})
+
+# Fast-path graph reuse: a machine sweep builds the identical aged-heap
+# graph once per workload; the build is pure Python over every edge and
+# was the largest remaining cost of a warm sweep.  Cached per dataset
+# identity with a post-build state snapshot; each reuse rewinds property
+# values + allocator + stack rotation, so a property-only kernel sees a
+# graph bit-identical to a fresh build (the replay bench's equivalence
+# gate cross-checks the resulting summaries against fresh-build runs).
+_GRAPH_CACHE: dict[tuple, tuple[PropertyGraph, tuple]] = {}
+_GRAPH_CACHE_LIMIT = 2
+
+
+def _shared_graph(spec: GraphSpec) -> PropertyGraph:
+    key = (spec.name, int(spec.n), int(spec.m), spec.seed)
+    entry = _GRAPH_CACHE.get(key)
+    if entry is None:
+        if len(_GRAPH_CACHE) >= _GRAPH_CACHE_LIMIT:
+            _GRAPH_CACHE.pop(next(iter(_GRAPH_CACHE)))
+        g = _build_graph(spec)
+        _GRAPH_CACHE[key] = (g, g.state_snapshot())
+        return g
+    g, snap = entry
+    g.restore_state(snap)
+    return g
 
 
 def _traversal_root(spec: GraphSpec) -> int:
@@ -233,7 +268,8 @@ def run_cpu_workload(name: str, spec: GraphSpec, *,
         params.setdefault("n_sweeps", 8)
         params.setdefault("burn_in", 2)
     else:
-        g = _build_graph(spec)
+        g = (_shared_graph(spec) if fast and name in _PROP_ONLY_WORKLOADS
+             else _build_graph(spec))
         if name in ("BFS", "DFS", "SPath"):
             params.setdefault("root", _traversal_root(spec))
         if name == "GUp":

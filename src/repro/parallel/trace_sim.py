@@ -18,11 +18,12 @@ Used by the multicore-contention ablation bench; the single-core case
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..arch.cache import Cache, CacheStats
+from ..arch.cache import Cache, CacheStats, line_ids
 from ..arch.machine import MachineConfig
 from ..core.trace import FrozenTrace
 
@@ -52,9 +53,116 @@ def _chunk_owners(n: int, p: int, chunk: int) -> np.ndarray:
     return (np.arange(n) // chunk) % p
 
 
+def _grouped_mru_skip(group: np.ndarray, key: np.ndarray) -> np.ndarray:
+    """Per-access bool: this access's key equals the previous key *in the
+    same group* (= the same core's same cache set), i.e. it probes the
+    set's MRU line — a guaranteed hit whose pop-then-reinsert leaves the
+    LRU order unchanged.  The fused engine drops such accesses from its
+    loop entirely; the multi-core analogue of
+    :func:`repro.arch.replay._mru_skip`, with the owning core folded into
+    the group id."""
+    n = len(group)
+    out = np.zeros(n, dtype=bool)
+    if n < 2:
+        return out
+    order = np.argsort(group, kind="stable")
+    g = group[order]
+    k = key[order]
+    eq = (g[1:] == g[:-1]) & (k[1:] == k[:-1])
+    out[order[1:][eq]] = True
+    return out
+
+
+def _simulate_multicore_fused(addrs: np.ndarray, owners: np.ndarray,
+                              machine: MachineConfig, p: int,
+                              agg_l1: CacheStats, agg_l2: CacheStats,
+                              l3: Cache) -> None:
+    """One global-order pass over the stream: private L1/L2 flattened to
+    ``core * n_sets + set`` slot lists, shared L3 probed inline on each L2
+    miss.
+
+    Equivalent to the per-core reference by construction: each core's
+    private levels see exactly the accesses that core owns, in program
+    order, and L2 misses fall out in ascending global position — the same
+    order the reference obtains by sorting the concatenated per-core miss
+    positions before its L3 pass.  Stats land bitwise identical.
+    """
+    m = machine
+    n1, a1 = m.l1d.n_sets, m.l1d.assoc
+    n2, a2 = m.l2.n_sets, m.l2.assoc
+    n3, a3 = m.l3.n_sets, m.l3.assoc
+    mask1, mask2, mask3 = n1 - 1, n2 - 1, n3 - 1
+    k1 = line_ids(addrs, m.l1d.line)
+    k2 = k1 if m.l2.line == m.l1d.line else line_ids(addrs, m.l2.line)
+    k3 = k1 if m.l3.line == m.l1d.line else line_ids(addrs, m.l3.line)
+    slot1 = owners.astype(np.uint64) * np.uint64(n1) + (k1 & np.uint64(mask1))
+    skip = _grouped_mru_skip(slot1, k1)
+    live = np.flatnonzero(~skip)
+
+    # core-private structures live in lazily-populated slot maps — a
+    # scaled LLC has tens of thousands of sets and p multiplies the
+    # private ones, so eager per-set dicts would dominate short replays
+    s1: defaultdict = defaultdict(dict)
+    s2: defaultdict = defaultdict(dict)
+    s3: defaultdict = defaultdict(dict)
+    mru2: dict[int, int] = {}
+    mru3 = [-1] * n3
+    m1 = m2 = m3 = 0
+    l2_of = k2.tolist()
+    l3_of = k3.tolist()
+    own = owners.tolist()
+    for i, sl, ln in zip(live.tolist(), slot1[live].tolist(),
+                         k1[live].tolist()):
+        s = s1[sl]
+        if s.pop(ln, None) is None:
+            m1 += 1
+            s[ln] = 1
+            if len(s) > a1:
+                del s[next(iter(s))]
+            ln = l2_of[i]
+            sl = own[i] * n2 + (ln & mask2)
+            if mru2.get(sl) != ln:
+                mru2[sl] = ln
+                s = s2[sl]
+                if s.pop(ln, None) is None:
+                    m2 += 1
+                    s[ln] = 1
+                    if len(s) > a2:
+                        del s[next(iter(s))]
+                    ln = l3_of[i]
+                    ix = ln & mask3
+                    if mru3[ix] != ln:
+                        mru3[ix] = ln
+                        s = s3[ix]
+                        if s.pop(ln, None) is None:
+                            m3 += 1
+                            s[ln] = 1
+                            if len(s) > a3:
+                                del s[next(iter(s))]
+                        else:
+                            s[ln] = 1
+                else:
+                    s[ln] = 1
+        else:
+            s[ln] = 1
+
+    # identical counter layout to Cache.simulate without an rw stream:
+    # every miss counts as a read miss
+    agg_l1.accesses += len(addrs)
+    agg_l1.misses += m1
+    agg_l1.read_misses += m1
+    agg_l2.accesses += m1
+    agg_l2.misses += m2
+    agg_l2.read_misses += m2
+    l3.stats.accesses += m2
+    l3.stats.misses += m3
+    l3.stats.read_misses += m3
+
+
 def simulate_multicore(trace: FrozenTrace, machine: MachineConfig,
                        p: int | None = None,
-                       chunk: int = 256) -> MulticoreCacheResult:
+                       chunk: int = 256,
+                       fast: bool = True) -> MulticoreCacheResult:
     """Replay ``trace`` as ``p`` threads with private L1/L2 + shared L3.
 
     The access stream is split block-cyclically into per-core substreams
@@ -62,6 +170,11 @@ def simulate_multicore(trace: FrozenTrace, machine: MachineConfig,
     see only their core's stream, and the shared L3 sees the cores' miss
     streams interleaved chunk by chunk — the eviction interleaving that
     causes LLC contention.
+
+    ``fast=True`` (default) runs the fused single-pass engine
+    (:func:`_simulate_multicore_fused`); ``fast=False`` keeps the per-core
+    multi-pass reference, which ``tests/test_trace_sim.py`` uses as the
+    bitwise cross-validation oracle.
     """
     if p is None:
         p = machine.n_cores
@@ -77,6 +190,11 @@ def simulate_multicore(trace: FrozenTrace, machine: MachineConfig,
     if n == 0:
         return MulticoreCacheResult(p, agg_l1, agg_l2, l3.stats, [0] * p)
     owners = _chunk_owners(n, p, chunk)
+    if fast:
+        per_core = np.bincount(owners, minlength=p).tolist()
+        _simulate_multicore_fused(addrs, owners, machine, p,
+                                  agg_l1, agg_l2, l3)
+        return MulticoreCacheResult(p, agg_l1, agg_l2, l3.stats, per_core)
     # per-core private simulation, collecting L2-miss positions
     miss_positions: list[np.ndarray] = []
     per_core_accesses: list[int] = []

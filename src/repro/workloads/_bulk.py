@@ -1,0 +1,141 @@
+"""Shared scaffolding for the vectorized (bulk-trace) workload kernels.
+
+The hot kernels (BFS, CComp, kCore, TC) run their algorithms on numpy
+CSR/bitset snapshots and emit the *exact* event stream of their original
+loop implementations through :meth:`Tracer.bulk_emit` — per-element
+identical addresses, rw flags, instruction indices, regions, branch sites
+and region visits (the equivalence bar ``scan_vertices`` already meets,
+extended to whole kernels).  Every kernel keeps its loop implementation in
+the tree as the oracle; ``tests/test_workloads_vectorized.py`` asserts
+full frozen-trace equality between the two.
+
+This module holds the pieces the four kernels share:
+
+* :class:`GraphView` — a one-pass numpy snapshot of the property graph's
+  topology (CSR out-lists in insertion order, in-lists in set order,
+  struct/index addresses, vid→row lookup);
+* ragged-array helpers (:func:`offsets_of`, :func:`ragged_arange`) for
+  splicing variable-width per-item event blocks into one stream;
+* the stack-rotation helper mirroring ``PropertyGraph._stack_touch``;
+* :func:`loop_reference_kernels` — a context manager flipping the four
+  classes back to their loop kernels (the benchmark's legacy arm).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..core import graph as G
+
+I64 = np.int64
+
+
+class GraphView:
+    """Numpy snapshot of a :class:`PropertyGraph`'s topology and simulated
+    addresses, in the iteration orders the traced primitives use:
+    vertices in insertion (dict) order, out-edges in adjacency insertion
+    order, in-neighbours in set iteration order."""
+
+    def __init__(self, g: G.PropertyGraph):
+        vs = list(g._v.values())
+        self.vs = vs
+        n = len(vs)
+        self.n = n
+        self.vids = np.fromiter((v.vid for v in vs), I64, count=n)
+        self.vaddr = np.fromiter((v.addr for v in vs), I64, count=n)
+        self.deg = np.fromiter((len(v.out) for v in vs), I64, count=n)
+        self.out_indptr = np.zeros(n + 1, I64)
+        np.cumsum(self.deg, out=self.out_indptr[1:])
+        m = int(self.out_indptr[-1])
+        out_dst_vid = np.empty(m, I64)
+        self.out_eaddr = np.empty(m, I64)
+        pos = 0
+        for v in vs:
+            for dst, node in v.out.items():
+                out_dst_vid[pos] = dst
+                self.out_eaddr[pos] = node.addr
+                pos += 1
+        self.indeg = np.fromiter((len(v.inn) for v in vs), I64, count=n)
+        self.in_indptr = np.zeros(n + 1, I64)
+        np.cumsum(self.indeg, out=self.in_indptr[1:])
+        in_src_vid = np.empty(int(self.in_indptr[-1]), I64)
+        pos = 0
+        for v in vs:
+            for src in v.inn:
+                in_src_vid[pos] = src
+                pos += 1
+        self._order = np.argsort(self.vids, kind="stable")
+        self._sorted_vids = self.vids[self._order]
+        self.out_dst = self.rows_of(out_dst_vid)
+        self.in_src = self.rows_of(in_src_vid)
+        self.index_base = g._index_base
+        self.index_cap = g._index_cap
+        self.stack_base = g._stack_base
+        self.idx_addr = (self.index_base
+                         + G.INDEX_ENTRY * (self.vids % self.index_cap))
+
+    def rows_of(self, vid_arr: np.ndarray) -> np.ndarray:
+        """Row indices of the given vertex ids (all must exist)."""
+        a = np.asarray(vid_arr, I64)
+        return self._order[np.searchsorted(self._sorted_vids, a)]
+
+    def out_edges_of(self, rows: np.ndarray) -> np.ndarray:
+        """Flat CSR edge indices of ``rows``'s out-lists, concatenated in
+        row order (each row's edges in adjacency order)."""
+        return csr_gather(self.out_indptr, self.deg, rows)
+
+    def in_edges_of(self, rows: np.ndarray) -> np.ndarray:
+        """Flat in-list indices of ``rows``, concatenated in row order."""
+        return csr_gather(self.in_indptr, self.indeg, rows)
+
+
+def offsets_of(lengths: np.ndarray) -> tuple[np.ndarray, int]:
+    """(exclusive-cumsum starts, total) of per-block lengths."""
+    lengths = np.asarray(lengths, I64)
+    starts = np.zeros(len(lengths) + 1, I64)
+    np.cumsum(lengths, out=starts[1:])
+    return starts[:-1], int(starts[-1])
+
+
+def ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0), [0..c1), ...`` concatenated (vectorized)."""
+    counts = np.asarray(counts, I64)
+    starts, total = offsets_of(counts)
+    return np.arange(total, dtype=I64) - np.repeat(starts, counts)
+
+
+def csr_gather(indptr: np.ndarray, counts: np.ndarray,
+               rows: np.ndarray) -> np.ndarray:
+    """Flat indices selecting ``rows``'s slices of a CSR array, in row
+    order — ``concatenate([arange(indptr[r], indptr[r+1]) for r in rows])``
+    without the loop."""
+    c = counts[rows]
+    return ragged_arange(c) + np.repeat(indptr[rows], c)
+
+
+def stack_addr_of(stack_base: int, sp0: int,
+                  ordinals: np.ndarray) -> np.ndarray:
+    """Addresses of the k-th stack touches after pointer state ``sp0``
+    (``ordinals`` are 1-based), mirroring ``PropertyGraph._stack_touch``'s
+    rotation over four hot lines."""
+    return stack_base + 64 * ((sp0 + np.asarray(ordinals, I64)) & 3)
+
+
+@contextmanager
+def loop_reference_kernels():
+    """Run the four vectorized workloads through their original loop
+    kernels (the oracle / legacy benchmark arm) for the duration."""
+    from .bfs import BFS
+    from .ccomp import CComp
+    from .kcore import KCore
+    from .tc import TC
+    classes = (BFS, CComp, KCore, TC)
+    for c in classes:
+        c.USE_VEC = False
+    try:
+        yield
+    finally:
+        for c in classes:
+            c.USE_VEC = True

@@ -32,6 +32,15 @@ class NullTracer:
     def br(self, site: int, taken: bool) -> None: ...
     def enter(self, rid: int) -> None: ...
     def leave(self) -> None: ...
+    def bulk_reads(self, addrs, instrs_per_access: int = 2) -> None: ...
+    def bulk_writes(self, addrs, instrs_per_access: int = 2) -> None: ...
+    def bulk_scan(self, addr_cols, instrs_per_step: int = 2) -> None: ...
+    def bulk_branches(self, site, taken, count=None) -> None: ...
+    def bulk_branch_events(self, sites, taken) -> None: ...
+
+    def bulk_emit(self, addrs, rw, iat, regions, *, n_instrs, fw_instrs,
+                  fw_accesses, head_instrs=0, region_seq=None,
+                  region_instrs=None) -> None: ...
 
     def register_region(self, name: str, code_bytes: int = 256,
                         framework: bool = False) -> int:

@@ -28,6 +28,12 @@ class SPath(Workload):
     def kernel(self, g: PropertyGraph, t, *, root: int = 0,
                **_: Any) -> dict[str, Any]:
         site_relax = t.register_branch_site()
+        # prebound accessors: slot/offset/index resolution memoized once,
+        # per-element event stream unchanged
+        find = g.vertex_finder()
+        get_dist = g.prop_reader("dist")
+        set_dist = g.prop_writer("dist")
+        get_weight = g.eprop_reader("weight")
         src = g.find_vertex(root)
         g.vset(src, "dist", 0.0)
         heap = TracedHeap(g, t)
@@ -41,20 +47,20 @@ class SPath(Workload):
             if vid in settled:
                 continue
             settled.add(vid)
-            v = g.find_vertex(vid)
+            v = find(vid)
             for dst, node in g.neighbors(v):
-                weight = g.eget(node, "weight")
+                weight = get_weight(node)
                 if weight < 0:
                     raise ValueError(
                         f"Dijkstra requires non-negative weights, "
                         f"edge ({vid}->{dst}) has {weight}")
-                w = g.find_vertex(dst)
+                w = find(dst)
                 t.i(6)
                 nd = d + weight
-                better = nd < g.vget(w, "dist")
+                better = nd < get_dist(w)
                 t.br(site_relax, better)
                 if better:
-                    g.vset(w, "dist", nd)
+                    set_dist(w, nd)
                     dists[dst] = nd
                     parents[dst] = vid
                     heap.push((nd, dst))

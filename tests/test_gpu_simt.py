@@ -187,3 +187,74 @@ class TestStatsAggregation:
         acc.launch()
         acc.launch()
         assert acc.stats.launches == 2
+
+
+class TestFusedVsReference:
+    """Deferred (fused) L2 accounting against the inline reference: the
+    same op sequence driven through both modes must produce identical
+    KernelStats — including DRAM/byte attribution per mem_op flags."""
+
+    @staticmethod
+    def _drive(acc, seed):
+        rng = np.random.default_rng(seed)
+        acc.launch()
+        for _ in range(6):
+            n = int(rng.integers(1, 200))
+            threads = np.sort(rng.integers(0, 1 << 12, n))
+            slots = warp_of(threads)
+            addrs = rng.integers(0, 1 << 22, n).astype(np.int64) & ~3
+            kind = int(rng.integers(0, 4))
+            if kind == 0:
+                acc.mem_op(slots, addrs)
+            elif kind == 1:
+                acc.mem_op(slots, addrs, is_write=True)
+            elif kind == 2:
+                acc.atomic_op(slots, addrs)
+            else:
+                acc.uniform_op(rng.integers(0, 2, 64).astype(bool),
+                               float(rng.integers(1, 5)))
+        return acc.stats
+
+    def test_random_streams_identical(self):
+        import dataclasses
+        for seed in range(8):
+            fused = self._drive(KernelAccum(fused=True), seed)
+            ref = self._drive(KernelAccum(fused=False), seed)
+            assert dataclasses.asdict(fused) == dataclasses.asdict(ref), seed
+
+    def test_interleaved_stats_reads(self):
+        """Reading .stats mid-kernel flushes pending chunks; the carried
+        MRU segment across flushes must keep results identical."""
+        import dataclasses
+        rng = np.random.default_rng(3)
+        accs = (KernelAccum(fused=True), KernelAccum(fused=False))
+        for step in range(12):
+            n = int(rng.integers(1, 80))
+            threads = np.sort(rng.integers(0, 1 << 10, n))
+            addrs = rng.integers(0, 1 << 18, n).astype(np.int64) & ~3
+            for acc in accs:
+                acc.mem_op(warp_of(threads), addrs,
+                           is_write=bool(step % 3 == 0))
+            if step % 4 == 1:
+                accs[0].stats       # mid-kernel flush on the fused side
+        assert dataclasses.asdict(accs[0].stats) == \
+            dataclasses.asdict(accs[1].stats)
+
+    def test_all_gpu_kernels_identical(self):
+        import dataclasses
+        from repro.datagen.registry import make
+        from repro.gpu.device import K40
+        from repro.gpu.runner import GPU_KERNELS, UNDIRECTED_KERNELS, \
+            csr_to_coo
+        spec = make("ldbc", scale=0.02, seed=0)
+        for name, cls in sorted(GPU_KERNELS.items()):
+            csr = spec.csr()
+            if name in UNDIRECTED_KERNELS:
+                csr = csr.undirected()
+            coo = csr_to_coo(csr)
+            _, fused = cls().run(csr, coo, l2_bytes=K40.l2_bytes,
+                                 fused=True)
+            _, ref = cls().run(csr, coo, l2_bytes=K40.l2_bytes,
+                               fused=False)
+            assert dataclasses.asdict(fused) == dataclasses.asdict(ref), \
+                name

@@ -379,3 +379,55 @@ class TestTracedEquivalence:
         ft = t.freeze()
         prop_addr = ft.addrs[-1]
         assert prop_addr >= v.addr + V_PROP_OFF
+
+
+class TestStateSnapshot:
+    def _graph(self):
+        schema = Schema([Field("level", default=-1)])
+        eschema = Schema([Field("weight", default=1.0)])
+        g = PropertyGraph(schema, eschema, heap=AGED_HEAP)
+        for vid in range(8):
+            g.add_vertex(vid)
+        for s in range(8):
+            g.add_edge(s, (s + 1) % 8)
+        return g
+
+    def test_restore_rewinds_props_and_allocator(self):
+        g = self._graph()
+        snap = g.state_snapshot()
+        addr_before = g.alloc.alloc(64)
+        g.alloc.restore(snap[0])
+        # property mutation + an extra allocation, then rewind
+        snap = g.state_snapshot()
+        v = g.find_vertex(3)
+        g.vset(v, "level", 9)
+        e = g.find_edge(3, 4)
+        g.eset(e, "weight", 2.5)
+        mid = g.alloc.alloc(128)
+        g.restore_state(snap)
+        assert g.vget(g.find_vertex(3), "level") == -1
+        assert g.eget(g.find_edge(3, 4), "weight") == 1.0
+        # the same allocation sequence replays to the same address
+        assert g.alloc.alloc(128) == mid
+        assert addr_before != mid or True
+
+    def test_restore_replays_identical_traces(self):
+        g = self._graph()
+        snap = g.state_snapshot()
+
+        def run():
+            t = Tracer()
+            g.attach_tracer(t)
+            for vid in range(8):
+                v = g.find_vertex(vid)
+                g.vset(v, "level", vid)
+                g.vget(v, "level")
+            g.detach_tracer()
+            return t.freeze()
+
+        f1 = run()
+        g.restore_state(snap)
+        f2 = run()
+        assert f1.addrs.tolist() == f2.addrs.tolist()
+        assert f1.iat.tolist() == f2.iat.tolist()
+        assert f1.n_instrs == f2.n_instrs

@@ -158,3 +158,43 @@ class TestReport:
 
     def test_csv_string(self):
         assert to_csv_string(["a"], [[1]]).strip() == "a\r\n1".strip()
+
+
+class TestSharedGraphReuse:
+    def test_fast_path_summaries_match_fresh_builds(self):
+        """The fast path's cached-graph reuse (restore_state between
+        property-only workloads) must leave every metric summary
+        identical to a fresh per-cell build."""
+        from repro.arch.machine import TEST_MACHINE
+        from repro.datagen.registry import make
+        from repro.harness import runner as R
+
+        spec = make("ldbc", scale=0.02, seed=0)
+        names = ("BFS", "CComp", "TC", "kCore", "GColor")
+        R.clear_cache()
+        shared = {}
+        for n in names:
+            _, cpu = R.run_cpu_workload(n, spec, machine=TEST_MACHINE,
+                                        fast=True)
+            shared[n] = cpu.summary()
+        assert R._GRAPH_CACHE          # the path was actually exercised
+        R.clear_cache()
+        for n in names:
+            _, cpu = R.run_cpu_workload(n, spec, machine=TEST_MACHINE,
+                                        fast=False)
+            assert cpu.summary() == shared[n], n
+
+    def test_mutating_workload_bypasses_cache(self):
+        from repro.arch.machine import TEST_MACHINE
+        from repro.datagen.registry import make
+        from repro.harness import runner as R
+
+        assert "GUp" not in R._PROP_ONLY_WORKLOADS
+        spec = make("ldbc", scale=0.02, seed=0)
+        R.clear_cache()
+        _, first = R.run_cpu_workload("GUp", spec, machine=TEST_MACHINE,
+                                      fast=True)
+        assert not R._GRAPH_CACHE
+        _, again = R.run_cpu_workload("GUp", spec, machine=TEST_MACHINE,
+                                      fast=True)
+        assert first.summary() == again.summary()

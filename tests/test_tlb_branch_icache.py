@@ -102,6 +102,51 @@ class TestBranchPredictors:
         assert st.miss_rate == 0.0
 
 
+class TestBranchFastPath:
+    """The vectorized clamp-tuple scan (``fast=True``, the default)
+    against the sequential predictor classes: exact, not approximate."""
+
+    def _assert_match(self, sites, taken, kind, **kwargs):
+        fast = simulate_branches(sites, taken, kind=kind, fast=True,
+                                 **kwargs)
+        loop = simulate_branches(sites, taken, kind=kind, fast=False,
+                                 **kwargs)
+        assert fast == loop, (kind, kwargs, fast, loop)
+
+    def test_random_streams(self):
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(1, 4000))
+            n_sites = int(rng.integers(1, 40))
+            sites = rng.integers(0, n_sites, n).astype(np.uint32)
+            taken = rng.integers(0, 2, n).astype(np.uint8)
+            for kind in ("bimodal", "gshare"):
+                self._assert_match(sites, taken, kind)
+
+    def test_biased_and_periodic_patterns(self):
+        n = 3000
+        sites = np.zeros(n, dtype=np.uint32)
+        for taken in (
+                np.ones(n, dtype=np.uint8),                  # saturates up
+                np.zeros(n, dtype=np.uint8),                 # saturates down
+                (np.arange(n) % 2).astype(np.uint8),         # alternation
+                (np.arange(n) % 7 != 0).astype(np.uint8)):   # loop exits
+            for kind in ("bimodal", "gshare"):
+                self._assert_match(sites, taken, kind)
+
+    def test_table_sizes(self):
+        rng = np.random.default_rng(10)
+        sites = rng.integers(0, 1 << 14, 2000).astype(np.uint32)
+        taken = rng.integers(0, 2, 2000).astype(np.uint8)
+        for bits in (2, 6, 12):
+            self._assert_match(sites, taken, "gshare", table_bits=bits)
+            self._assert_match(sites, taken, "bimodal", table_bits=bits)
+
+    def test_single_event(self):
+        self._assert_match(np.array([5], np.uint32),
+                           np.array([1], np.uint8), "gshare")
+
+
 def _toy_trace(n_calls=200):
     t = Tracer()
     for _ in range(n_calls):

@@ -109,3 +109,48 @@ class TestLLCContention:
         ft = t.freeze()
         c = llc_contention(ft, TEST_MACHINE, p=4)
         assert c >= 1.0
+
+
+class TestFusedVsReference:
+    """The fused single-pass engine (``fast=True``, the default) against
+    the per-core multi-pass reference (``fast=False``, the oracle):
+    aggregate L1/L2 and shared-L3 stats must be bitwise identical."""
+
+    def _assert_match(self, ft, machine, p, chunk=256):
+        fused = simulate_multicore(ft, machine, p=p, chunk=chunk, fast=True)
+        ref = simulate_multicore(ft, machine, p=p, chunk=chunk, fast=False)
+        assert fused == ref, (p, chunk, fused, ref)
+
+    def test_random_traces(self):
+        for seed in range(4):
+            ft = _trace(3000, spread=1 << 21, seed=seed)
+            for p in (1, 2, 3, 4, 8):
+                self._assert_match(ft, TEST_MACHINE, p)
+
+    def test_chunk_sizes(self):
+        ft = _trace(2500, spread=1 << 20, seed=5)
+        for chunk in (1, 7, 64, 256, 5000):
+            self._assert_match(ft, TEST_MACHINE, 4, chunk=chunk)
+
+    def test_scaled_machine(self):
+        from repro.arch.machine import SCALED_XEON
+        ft = _trace(4000, spread=1 << 22, seed=9)
+        for p in (1, 2, 4):
+            self._assert_match(ft, SCALED_XEON, p)
+
+    def test_workload_trace(self):
+        from repro.datagen.registry import make
+        from repro.harness.runner import run_cpu_workload
+        spec = make("ldbc", scale=0.02, seed=0)
+        result, _ = run_cpu_workload("BFS", spec, machine=TEST_MACHINE)
+        for p in (1, 2, 4):
+            self._assert_match(result.trace, TEST_MACHINE, p)
+
+    def test_reuse_heavy_trace(self):
+        lines = TEST_MACHINE.l3.size // 64
+        addrs = np.tile(np.arange(lines) * 64, 4).astype(np.uint64)
+        t = Tracer()
+        for a in addrs.tolist():
+            t.i(2)
+            t.r(a)
+        self._assert_match(t.freeze(), TEST_MACHINE, 4)

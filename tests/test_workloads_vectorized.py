@@ -1,0 +1,177 @@
+"""Vectorized-kernel equivalence: frozen-trace and output equality.
+
+The tentpole guarantee of the vectorized BFS/CComp/kCore/TC kernels is
+that they are *per-element identical* to the original loop kernels: the
+same address stream, branch sites, instruction counts and region visits,
+element for element — not statistically close, equal.  These tests
+assert exactly that over hypothesis-generated graph shapes, plus output
+equality, so any drift in the bulk-trace emission paths fails loudly.
+
+Addresses are compared relative to each graph's arena base: every
+:class:`SimAllocator` claims a disjoint arena, so two identical builds
+differ by a constant aligned offset and nothing else.
+
+The prebound accessor closures (``vertex_finder``/``prop_reader``/
+``prop_writer``/``eprop_reader``) used by the DFS/SPath/GColor loop
+kernels carry the same bar: identical event stream to the generic
+primitives they memoize.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.trace import Tracer
+from repro.datagen import GraphSpec
+from repro.core.taxonomy import DataSource
+from repro.workloads import WORKLOADS, common_edge_schema, common_vertex_schema
+from repro.workloads._bulk import loop_reference_kernels
+
+VEC_KERNELS = ("BFS", "TC", "CComp", "kCore")
+
+TRACE_FIELDS = ("rw", "iat", "acc_region", "branch_sites", "branch_taken",
+                "region_seq", "region_instrs")
+
+
+@st.composite
+def random_spec(draw, max_n=36, max_m=110):
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(0, max_m))
+    edges = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        min_size=0, max_size=m))
+    directed = draw(st.booleans())
+    return GraphSpec("rand", DataSource.SYNTHETIC, n,
+                     np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+                     directed=directed)
+
+
+def _build(spec):
+    return spec.build(vertex_schema=common_vertex_schema(),
+                      edge_schema=common_edge_schema())
+
+
+def _run_traced(name, spec, **params):
+    g = _build(spec)
+    res = WORKLOADS[name]().run(g, tracer=Tracer(), **params)
+    return res.trace, res.outputs, g.alloc.base
+
+
+def _outputs_equal(a, b):
+    if a.keys() != b.keys():
+        return False
+    for k in a:
+        x, y = a[k], b[k]
+        if isinstance(x, np.ndarray) or isinstance(y, np.ndarray):
+            if not np.array_equal(np.asarray(x), np.asarray(y)):
+                return False
+        elif x != y:
+            return False
+    return True
+
+
+def _assert_traces_identical(vec, vbase, loop, lbase):
+    assert np.array_equal(vec.addrs - np.uint64(vbase),
+                          loop.addrs - np.uint64(lbase))
+    for f in TRACE_FIELDS:
+        assert np.array_equal(getattr(vec, f), getattr(loop, f)), f
+    assert vec.n_instrs == loop.n_instrs
+    assert vec.fw_instrs == loop.fw_instrs
+    assert vec.n_accesses == loop.n_accesses
+    assert vec.fw_accesses == loop.fw_accesses
+    assert {r: (v.name, v.code_bytes, v.framework)
+            for r, v in vec.regions.items()} == \
+           {r: (v.name, v.code_bytes, v.framework)
+            for r, v in loop.regions.items()}
+
+
+def _check_kernel(name, spec, **params):
+    vec_trace, vec_out, vbase = _run_traced(name, spec, **params)
+    with loop_reference_kernels():
+        loop_trace, loop_out, lbase = _run_traced(name, spec, **params)
+    _assert_traces_identical(vec_trace, vbase, loop_trace, lbase)
+    assert _outputs_equal(vec_out, loop_out)
+
+
+@given(random_spec())
+@settings(max_examples=25, deadline=None)
+def test_bfs_vectorized_trace_identical(spec):
+    _check_kernel("BFS", spec, root=0)
+
+
+@given(random_spec())
+@settings(max_examples=25, deadline=None)
+def test_tc_vectorized_trace_identical(spec):
+    _check_kernel("TC", spec)
+
+
+@given(random_spec())
+@settings(max_examples=25, deadline=None)
+def test_ccomp_vectorized_trace_identical(spec):
+    _check_kernel("CComp", spec)
+
+
+@given(random_spec())
+@settings(max_examples=25, deadline=None)
+def test_kcore_vectorized_trace_identical(spec):
+    _check_kernel("kCore", spec)
+
+
+def test_vectorized_trace_identical_fixed_shapes():
+    """Deterministic worst-case shapes: singleton, edgeless, dense-ish,
+    star, chain — cheap to keep outside hypothesis's budget."""
+    rng = np.random.default_rng(5)
+    cases = [
+        (1, np.empty((0, 2), np.int64)),
+        (5, np.empty((0, 2), np.int64)),
+        (12, rng.integers(0, 12, (20, 2))),
+        (30, rng.integers(0, 30, (80, 2))),
+        (7, np.array([[0, i] for i in range(1, 7)])),
+        (6, np.array([[i, i + 1] for i in range(5)])),
+    ]
+    for n, edges in cases:
+        spec = GraphSpec("fixed", DataSource.SYNTHETIC, n, edges)
+        for name in VEC_KERNELS:
+            params = {"root": 0} if name == "BFS" else {}
+            _check_kernel(name, spec, **params)
+
+
+# -- prebound accessor closures --------------------------------------------
+
+def _primitive_script(g, generic):
+    """Drive the same find/get/set/eget sequence through either the
+    generic primitives or the prebound closures."""
+    if generic:
+        find = g.find_vertex
+        get_level = lambda v: g.vget(v, "level")
+        set_level = lambda v, x: g.vset(v, "level", x)
+        eget_w = lambda e: g.eget(e, "weight")
+    else:
+        find = g.vertex_finder()
+        get_level = g.prop_reader("level")
+        set_level = g.prop_writer("level")
+        eget_w = g.eprop_reader("weight")
+    total = 0.0
+    for vid in sorted(g.vertex_ids()):
+        v = find(vid)
+        set_level(v, vid * 2)
+        total += get_level(v)
+        for _dst, node in g.neighbors(v):
+            total += eget_w(node)
+    return total
+
+
+@given(random_spec(max_n=20, max_m=50))
+@settings(max_examples=25, deadline=None)
+def test_prebound_accessors_trace_identical(spec):
+    g1 = _build(spec)
+    t1 = Tracer()
+    g1.attach_tracer(t1)
+    r1 = _primitive_script(g1, generic=True)
+    g2 = _build(spec)
+    t2 = Tracer()
+    g2.attach_tracer(t2)
+    r2 = _primitive_script(g2, generic=False)
+    assert r1 == r2
+    f1, f2 = t1.freeze(), t2.freeze()
+    _assert_traces_identical(f2, g2.alloc.base, f1, g1.alloc.base)
